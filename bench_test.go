@@ -1,0 +1,301 @@
+// Benchmarks regenerating every figure and table of the paper (one per
+// experiment ID in DESIGN.md), plus micro-benchmarks of the protocol's
+// hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark prints its reproduced table once (first
+// iteration) so `go test -bench` output doubles as the paper-vs-
+// measured record; EXPERIMENTS.md archives a full run.
+package gs3
+
+import (
+	"sync"
+	"testing"
+
+	"gs3/internal/analysis"
+	"gs3/internal/check"
+	"gs3/internal/core"
+	"gs3/internal/exp"
+	"gs3/internal/netsim"
+)
+
+// printOnce prints a reproduced table on the first benchmark iteration
+// only, keyed by experiment ID.
+var printedTables sync.Map
+
+func printOnce(b *testing.B, id, text string) {
+	b.Helper()
+	if _, loaded := printedTables.LoadOrStore(id, true); !loaded {
+		b.Log("\n" + text)
+	}
+}
+
+// BenchmarkConfigureStructure is experiment F1: configure the cellular
+// hexagonal structure of Figures 1/4 and machine-check Corollaries 1–2
+// via the invariant.
+func BenchmarkConfigureStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := netsim.Build(netsim.DefaultOptions(100, 400))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Configure(); err != nil {
+			b.Fatal(err)
+		}
+		if r := check.Invariant(s.Net.Snapshot(), check.Static); !r.OK() {
+			b.Fatalf("invariant violated: %v", r.Violations[0])
+		}
+	}
+}
+
+// BenchmarkNonIdealCellRatio is experiment F7 (paper Figure 7).
+func BenchmarkNonIdealCellRatio(b *testing.B) {
+	ratios := analysis.DefaultRatios()
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure7(10, 100, ratios, 20000, 7)
+		printOnce(b, "F7", t.Format())
+	}
+}
+
+// BenchmarkGapRegionDiameter is experiment F8 (paper Figure 8).
+func BenchmarkGapRegionDiameter(b *testing.B) {
+	ratios := analysis.DefaultRatios()
+	for i := 0; i < b.N; i++ {
+		t := exp.Figure8(10, 100, ratios, 20000, 7)
+		printOnce(b, "F8", t.Format())
+	}
+}
+
+// BenchmarkPerNodeState is experiment T1 (Appendix 1 row 1).
+func BenchmarkPerNodeState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.PerNodeState(100, []float64{300, 500}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "T1", t.Format())
+	}
+}
+
+// BenchmarkStructureLifetime is experiment T2 (Appendix 1 row 2).
+func BenchmarkStructureLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.StructureLifetime(100, 260, []float64{30, 18}, 40, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "T2", t.Format())
+	}
+}
+
+// BenchmarkPerturbationConvergence is experiment T3 (Appendix 1 row 3).
+func BenchmarkPerturbationConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := exp.PerturbationConvergence(100, 700, []float64{170, 400, 600}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "T3", t.Format())
+	}
+}
+
+// BenchmarkStaticConvergence is experiment T4 (Appendix 1 row 4,
+// Theorem 4).
+func BenchmarkStaticConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, fit, err := exp.StaticConvergence(100, []float64{300, 450, 600}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fit.R2 < 0.9 {
+			b.Fatalf("configure time not linear: R2=%v", fit.R2)
+		}
+		printOnce(b, "T4", t.Format())
+	}
+}
+
+// BenchmarkArbitraryStateConvergence is experiment T5 (Appendix 1 row
+// 5, Theorem 7).
+func BenchmarkArbitraryStateConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.ArbitraryStateConvergence(100, 500, []float64{150, 300}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "T5", t.Format())
+	}
+}
+
+// BenchmarkInvariantCheck is experiment I1/I2: the cost of machine-
+// checking SI/DI on a configured snapshot.
+func BenchmarkInvariantCheck(b *testing.B) {
+	s, err := netsim.Build(netsim.DefaultOptions(100, 500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		b.Fatal(err)
+	}
+	snap := s.Net.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := check.Invariant(snap, check.Static); !r.OK() {
+			b.Fatal("invariant violated")
+		}
+	}
+}
+
+// BenchmarkBigNodeMoveLocality is experiment M1 (Theorem 11).
+func BenchmarkBigNodeMoveLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.BigMoveLocality(100, 500, []float64{1.5, 2.5}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "M1", t.Format())
+	}
+}
+
+// BenchmarkStructureSlide is experiment S1 (§4.3.5.1 item 3).
+func BenchmarkStructureSlide(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.SlideConsistency(100, 300, 60, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "S1", t.Format())
+	}
+}
+
+// BenchmarkVsLEACH is experiment B1 (Related Work vs LEACH).
+func BenchmarkVsLEACH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.VsLEACH(100, []float64{300, 450}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "B1", t.Format())
+	}
+}
+
+// BenchmarkVsHopCluster is experiment B2 (Related Work vs hop-bounded
+// clustering).
+func BenchmarkVsHopCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.VsHopCluster(100, 400, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "B2", t.Format())
+	}
+}
+
+// BenchmarkFrequencyReuse is experiment C1: the introduction's
+// frequency-reuse claim — reuse-3 channels on the hex lattice vs greedy
+// coloring of unstructured clusterings.
+func BenchmarkFrequencyReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.FrequencyReuse(100, 400, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "C1", t.Format())
+	}
+}
+
+// BenchmarkRtSweepAblation is ablation A1 (Rt tolerance vs tightness).
+func BenchmarkRtSweepAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.RtSweep(100, 350, []float64{0.15, 0.4}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "A1", t.Format())
+	}
+}
+
+// BenchmarkRescanPeriodAblation is ablation A2 (rescan period vs
+// healing latency).
+func BenchmarkRescanPeriodAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.RescanPeriodAblation(100, 500, []int{2, 8}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "A2", t.Format())
+	}
+}
+
+// BenchmarkHeartbeatAblation is ablation A3 (heartbeat interval vs
+// masking latency).
+func BenchmarkHeartbeatAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := exp.HeartbeatAblation(100, 350, []float64{0.5, 2}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "A3", t.Format())
+	}
+}
+
+// ---- Hot-path micro-benchmarks ----
+
+// BenchmarkHeadOrgAction measures one HEAD_ORG module execution on a
+// configured network (re-running it at an existing head is a no-op
+// selection pass over its neighborhood).
+func BenchmarkHeadOrgAction(b *testing.B) {
+	s, err := netsim.Build(netsim.DefaultOptions(100, 400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		b.Fatal(err)
+	}
+	var head core.NodeView
+	for _, h := range s.Net.Snapshot().Heads() {
+		if !h.IsBig {
+			head = h
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Net.RescanAround(head.ID)
+	}
+}
+
+// BenchmarkMaintenanceSweepRound measures one full heartbeat round of
+// GS³-D maintenance across a 400-radius network.
+func BenchmarkMaintenanceSweepRound(b *testing.B) {
+	s, err := netsim.Build(netsim.DefaultOptions(100, 400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		b.Fatal(err)
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunSweeps(1)
+	}
+}
+
+// BenchmarkSnapshot measures the cost of capturing a full network
+// snapshot (the observability path used by all checks).
+func BenchmarkSnapshot(b *testing.B) {
+	s, err := netsim.Build(netsim.DefaultOptions(100, 500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := s.Net.Snapshot(); len(snap.Nodes) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package gs3
+
+import (
+	"gs3/internal/channel"
+)
+
+// ChannelPlan assigns every cell one of three radio channels using the
+// cellular reuse-3 pattern on the hexagonal lattice: no two neighboring
+// cells share a channel, and the same-channel reuse distance is 3·R.
+// This is the frequency-reuse payoff of the bounded, exactly placed
+// cells (paper §1). The plan stays valid through self-healing: a
+// replacement head inherits its cell's lattice position and therefore
+// its channel.
+func (n *Network) ChannelPlan() (map[NodeID]int, error) {
+	a, err := channel.Reuse3(n.nw.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[NodeID]int, len(a.Channels))
+	for id, ch := range a.Channels {
+		out[id] = ch
+	}
+	return out, nil
+}

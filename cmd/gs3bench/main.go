@@ -1,0 +1,255 @@
+// Command gs3bench regenerates the paper's figures and tables. Each
+// experiment prints rows directly comparable to what the paper reports;
+// EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Usage:
+//
+//	gs3bench -exp all          # every experiment (slow)
+//	gs3bench -exp F7,F8        # just the Figure 7/8 curves
+//	gs3bench -list             # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gs3/internal/analysis"
+	"gs3/internal/exp"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(seed uint64, quick bool) (string, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"F7", "Figure 7: expected ratio of non-ideal cells vs Rt/R", func(seed uint64, quick bool) (string, error) {
+			trials := 200000
+			if quick {
+				trials = 20000
+			}
+			return exp.Figure7(10, 100, analysis.DefaultRatios(), trials, seed).Format(), nil
+		}},
+		{"F8", "Figure 8: expected diameter of an Rt-gap perturbed region vs Rt/R", func(seed uint64, quick bool) (string, error) {
+			trials := 200000
+			if quick {
+				trials = 20000
+			}
+			return exp.Figure8(10, 100, analysis.DefaultRatios(), trials, seed).Format(), nil
+		}},
+		{"F7b", "Rt-gap handling end to end: configure around a gap, absorb after fill", func(seed uint64, quick bool) (string, error) {
+			t, err := exp.GapResilience(100, 400, 80, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"T1", "Appendix 1 row 1: per-node state is constant", func(seed uint64, quick bool) (string, error) {
+			radii := []float64{300, 500, 700}
+			if quick {
+				radii = []float64{300, 500}
+			}
+			t, err := exp.PerNodeState(100, radii, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"T1b", "local coordination: configuration traffic per node is constant", func(seed uint64, quick bool) (string, error) {
+			radii := []float64{300, 500, 700}
+			if quick {
+				radii = []float64{300, 500}
+			}
+			t, err := exp.MessageLocality(100, radii, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"T2", "Appendix 1 row 2: lifetime lengthened by Omega(nc)", func(seed uint64, quick bool) (string, error) {
+			spacings := []float64{30, 22, 16}
+			if quick {
+				spacings = []float64{30, 18}
+			}
+			t, err := exp.StructureLifetime(100, 260, spacings, 40, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"T3", "Appendix 1 row 3: healing time is O(Dp)", func(seed uint64, quick bool) (string, error) {
+			diams := []float64{170, 300, 450, 600}
+			if quick {
+				diams = []float64{170, 400, 600}
+			}
+			t, _, err := exp.PerturbationConvergence(100, 700, diams, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"T3b", "healing impact radius independent of network size", func(seed uint64, quick bool) (string, error) {
+			radii := []float64{400, 600, 800}
+			if quick {
+				radii = []float64{400, 600}
+			}
+			t, err := exp.HealingLocalityVsSize(100, radii, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"T4", "Appendix 1 row 4: static configuration time is theta(Db)", func(seed uint64, quick bool) (string, error) {
+			radii := []float64{300, 450, 600, 750}
+			if quick {
+				radii = []float64{300, 450, 600}
+			}
+			t, _, err := exp.StaticConvergence(100, radii, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"T5", "Appendix 1 row 5: stabilization from corrupted state is O(Dc)", func(seed uint64, quick bool) (string, error) {
+			diams := []float64{150, 300, 450}
+			if quick {
+				diams = []float64{150, 300}
+			}
+			t, err := exp.ArbitraryStateConvergence(100, 500, diams, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"S1", "structure slides as a whole under uniform death", func(seed uint64, quick bool) (string, error) {
+			t, err := exp.SlideConsistency(100, 300, 60, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"M1", "Theorem 11: big-node move impact contained in sqrt(3)d/2", func(seed uint64, quick bool) (string, error) {
+			moves := []float64{1, 1.5, 2, 2.5}
+			if quick {
+				moves = []float64{1.5, 2.5}
+			}
+			t, err := exp.BigMoveLocality(100, 500, moves, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"B1", "GS3 vs LEACH: radius control and healing cost", func(seed uint64, quick bool) (string, error) {
+			radii := []float64{300, 450, 600}
+			if quick {
+				radii = []float64{300, 450}
+			}
+			t, err := exp.VsLEACH(100, radii, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"B2", "GS3 vs hop-bounded clustering: radius spread and overlap", func(seed uint64, quick bool) (string, error) {
+			t, err := exp.VsHopCluster(100, 400, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"C1", "frequency reuse: channels per clustering scheme", func(seed uint64, quick bool) (string, error) {
+			t, err := exp.FrequencyReuse(100, 400, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"A1", "ablation: radius tolerance Rt vs structure tightness", func(seed uint64, quick bool) (string, error) {
+			ratios := []float64{0.1, 0.15, 0.25, 0.4}
+			if quick {
+				ratios = []float64{0.15, 0.4}
+			}
+			t, err := exp.RtSweep(100, 350, ratios, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"A2", "ablation: boundary-rescan period vs healing latency", func(seed uint64, quick bool) (string, error) {
+			periods := []int{2, 5, 8}
+			if quick {
+				periods = []int{2, 8}
+			}
+			t, err := exp.RescanPeriodAblation(100, 500, periods, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"A3", "ablation: heartbeat interval vs head-death masking latency", func(seed uint64, quick bool) (string, error) {
+			intervals := []float64{0.5, 1, 2}
+			if quick {
+				intervals = []float64{0.5, 2}
+			}
+			t, err := exp.HeartbeatAblation(100, 350, intervals, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gs3bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("gs3bench", flag.ContinueOnError)
+	var (
+		which = fs.String("exp", "all", "comma-separated experiment IDs, or \"all\"")
+		list  = fs.Bool("list", false, "list experiment IDs and exit")
+		seed  = fs.Uint64("seed", 7, "random seed")
+		quick = fs.Bool("quick", false, "smaller parameter sweeps")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Fprintf(out, "%-5s %s\n", e.id, e.desc)
+		}
+		return nil
+	}
+	want := map[string]bool{}
+	all := *which == "all"
+	if !all {
+		for _, id := range strings.Split(*which, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range exps {
+		if !all && !want[e.id] {
+			continue
+		}
+		text, err := e.run(*seed, *quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintln(out, text)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q (use -list)", *which)
+	}
+	return nil
+}

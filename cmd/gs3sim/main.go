@@ -1,0 +1,180 @@
+// Command gs3sim runs one GS³ scenario and reports the resulting
+// structure: configure a deployment, optionally perturb it, verify the
+// invariant, print statistics, and (optionally) write an SVG rendering.
+//
+// Usage examples:
+//
+//	gs3sim -region 500 -r 100
+//	gs3sim -region 500 -r 100 -lambda 0.02
+//	gs3sim -region 500 -kill-disk 150,80,120 -sweeps 40
+//	gs3sim -region 400 -svg structure.svg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gs3/internal/check"
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/netsim"
+	"gs3/internal/render"
+	"gs3/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gs3sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gs3sim", flag.ContinueOnError)
+	var (
+		r        = fs.Float64("r", 100, "ideal cell radius R")
+		rt       = fs.Float64("rt", 0, "radius tolerance Rt (default R/4)")
+		region   = fs.Float64("region", 500, "deployment disk radius")
+		lambda   = fs.Float64("lambda", 0, "Poisson density (nodes per unit-radius disk); 0 = grid deployment")
+		spacing  = fs.Float64("spacing", 0, "grid spacing (default 0.9*Rt)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		sweeps   = fs.Int("sweeps", 0, "maintenance sweeps to run after configuring (enables GS3-D)")
+		mobile   = fs.Bool("mobile", false, "run GS3-M instead of GS3-D maintenance")
+		killDisk = fs.String("kill-disk", "", "kill all nodes in disk \"x,y,radius\" after configuring")
+		svgPath  = fs.String("svg", "", "write an SVG rendering of the final structure to this file")
+		traceN   = fs.Int("trace", 0, "record protocol events and print the last N")
+		dumpPath = fs.String("dump", "", "write the final snapshot as JSON to this file")
+		quiet    = fs.Bool("q", false, "print only the one-line summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := netsim.DefaultOptions(*r, *region)
+	opt.Seed = *seed
+	if *rt > 0 {
+		opt.Config.Rt = *rt
+	}
+	if *lambda > 0 {
+		opt.GridSpacing = 0
+		opt.Lambda = *lambda
+	} else if *spacing > 0 {
+		opt.GridSpacing = *spacing
+	}
+
+	s, err := netsim.Build(opt)
+	if err != nil {
+		return err
+	}
+	if *traceN > 0 {
+		s.Net.SetTracer(trace.NewLog(*traceN))
+	}
+	elapsed, err := s.Configure()
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("configured %d nodes in %.2f virtual seconds\n", s.Net.Medium().Count(), elapsed)
+	}
+
+	if *killDisk != "" {
+		c, radius, err := parseDisk(*killDisk)
+		if err != nil {
+			return err
+		}
+		variant := core.VariantD
+		if *mobile {
+			variant = core.VariantM
+		}
+		s.Net.StartMaintenance(variant)
+		killed := s.KillDisk(c, radius)
+		if !*quiet {
+			fmt.Printf("killed %d nodes in disk (%.0f,%.0f) r=%.0f\n", killed, c.X, c.Y, radius)
+		}
+	}
+	if *sweeps > 0 {
+		variant := core.VariantD
+		if *mobile {
+			variant = core.VariantM
+		}
+		s.Net.StartMaintenance(variant)
+		s.RunSweeps(*sweeps)
+		if !*quiet {
+			fmt.Printf("ran %d maintenance sweeps (%s)\n", *sweeps, variant)
+		}
+	}
+
+	snap := s.Net.Snapshot()
+	st := check.Stats(snap)
+	mode := check.Static
+	if *sweeps > 0 || *killDisk != "" {
+		mode = check.Dynamic
+	}
+	inv := check.Invariant(snap, mode)
+
+	fmt.Printf("nodes=%d heads=%d associates=%d bootup=%d ilDeviationMax=%.1f invariantOK=%v\n",
+		len(snap.Nodes), st.Heads, st.Associates, st.Bootup, st.MaxILDeviation, inv.OK())
+	if !*quiet {
+		for i, v := range inv.Violations {
+			if i >= 10 {
+				fmt.Printf("  ... and %d more violations\n", len(inv.Violations)-10)
+				break
+			}
+			fmt.Printf("  violation: %v\n", v)
+		}
+		m := s.Net.Metrics()
+		fmt.Printf("actions: headOrgs=%d headsSelected=%d headShifts=%d cellShifts=%d abandonments=%d sanityRetreats=%d\n",
+			m.HeadOrgs, m.HeadsSelected, m.HeadShifts, m.CellShifts, m.Abandonments, m.SanityRetreats)
+		rs := s.Net.Medium().Stats()
+		fmt.Printf("radio: broadcasts=%d unicasts=%d deliveries=%d\n", rs.Broadcasts, rs.Unicasts, rs.Deliveries)
+	}
+
+	if *traceN > 0 {
+		if l := s.Net.Tracer(); l != nil {
+			fmt.Printf("--- last %d protocol events (%d dropped) ---\n%s", l.Len(), l.Dropped(), l.Dump())
+		}
+	}
+
+	if *svgPath != "" {
+		svg := render.SVG(snap, render.DefaultOptions())
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			return fmt.Errorf("write svg: %w", err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *svgPath)
+		}
+	}
+	if *dumpPath != "" {
+		data, err := json.MarshalIndent(snap, "", " ")
+		if err != nil {
+			return fmt.Errorf("encode snapshot: %w", err)
+		}
+		if err := os.WriteFile(*dumpPath, data, 0o644); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *dumpPath)
+		}
+	}
+	return nil
+}
+
+func parseDisk(s string) (geom.Point, float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return geom.Point{}, 0, fmt.Errorf("bad disk %q: want x,y,radius", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Point{}, 0, fmt.Errorf("bad disk %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	return geom.Point{X: vals[0], Y: vals[1]}, vals[2], nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultScenario(t *testing.T) {
+	if err := run([]string{"-region", "300", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPoisson(t *testing.T) {
+	if err := run([]string{"-region", "250", "-lambda", "0.02", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunKillDiskAndSweeps(t *testing.T) {
+	if err := run([]string{"-region", "300", "-kill-disk", "100,50,60", "-sweeps", "10", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMobileSweeps(t *testing.T) {
+	if err := run([]string{"-region", "300", "-sweeps", "5", "-mobile", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := run([]string{"-region", "250", "-svg", path, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("output is not SVG")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-region", "0"}); err == nil {
+		t.Error("zero region accepted")
+	}
+	if err := run([]string{"-kill-disk", "nope"}); err == nil {
+		t.Error("bad disk accepted")
+	}
+	if err := run([]string{"-kill-disk", "1,2"}); err == nil {
+		t.Error("two-field disk accepted")
+	}
+	if err := run([]string{"-notaflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestParseDisk(t *testing.T) {
+	c, r, err := parseDisk("10, -5, 30")
+	if err != nil || c.X != 10 || c.Y != -5 || r != 30 {
+		t.Errorf("parseDisk = %v %v %v", c, r, err)
+	}
+}
+
+func TestRunWritesDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := run([]string{"-region", "250", "-dump", path, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"bigId\"") {
+		t.Error("dump missing expected fields")
+	}
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	if err := run([]string{"-region", "250", "-trace", "20", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package gs3
+
+import (
+	"gs3/internal/gather"
+	"gs3/internal/radio"
+)
+
+// GatherResult is one convergecast round over the head graph.
+type GatherResult struct {
+	// Mean/Min/Max/Count aggregate the readings that reached the sink.
+	Mean  float64
+	Min   float64
+	Max   float64
+	Count int
+	// IntraMessages counts associate→head reports; InterMessages counts
+	// head→parent forwards; MaxDepth is the longest head-graph path an
+	// aggregate traveled.
+	IntraMessages int
+	InterMessages int
+	MaxDepth      int
+	// Unreported lists nodes whose readings could not reach the sink.
+	Unreported []NodeID
+}
+
+// Collect runs one in-network aggregation round: every covered node's
+// reading flows to its cell head (one short intra-cell message), heads
+// merge their cells' samples, and aggregates converge up the head graph
+// to the big node — the hierarchical data-gathering pattern the GS³
+// structure exists to support.
+func (n *Network) Collect(readings map[NodeID]float64) (GatherResult, error) {
+	internal := make(map[radio.NodeID]float64, len(readings))
+	for id, v := range readings {
+		internal[id] = v
+	}
+	res, err := gather.Collect(n.nw.Snapshot(), internal)
+	if err != nil {
+		return GatherResult{}, err
+	}
+	return GatherResult{
+		Mean:          res.Root.Mean(),
+		Min:           res.Root.Min,
+		Max:           res.Root.Max,
+		Count:         res.Root.Count,
+		IntraMessages: res.IntraMessages,
+		InterMessages: res.InterMessages,
+		MaxDepth:      res.MaxDepth,
+		Unreported:    res.Unreported,
+	}, nil
+}

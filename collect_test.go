@@ -1,0 +1,72 @@
+package gs3
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCollectFacade(t *testing.T) {
+	net := demoNetwork(t)
+	readings := map[NodeID]float64{}
+	for _, c := range net.Cells() {
+		for _, m := range c.Members {
+			readings[m] = 10
+		}
+		readings[c.Head] = 10
+	}
+	res, err := net.Collect(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != len(readings) {
+		t.Errorf("count = %d, want %d", res.Count, len(readings))
+	}
+	if math.Abs(res.Mean-10) > 1e-9 || res.Min != 10 || res.Max != 10 {
+		t.Errorf("aggregate = %+v", res)
+	}
+	if res.IntraMessages == 0 || res.InterMessages == 0 {
+		t.Errorf("no messages counted: %+v", res)
+	}
+	if len(res.Unreported) != 0 {
+		t.Errorf("unreported: %v", res.Unreported)
+	}
+}
+
+func TestCollectEmptyReadings(t *testing.T) {
+	net := demoNetwork(t)
+	res, err := net.Collect(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 || res.IntraMessages != 0 {
+		t.Errorf("empty collect = %+v", res)
+	}
+}
+
+func TestCollectSurvivesHealing(t *testing.T) {
+	net := demoNetwork(t)
+	net.EnableSelfHealing(Dynamic)
+	var victim NodeID = None
+	for _, c := range net.Cells() {
+		if !c.IsBig {
+			victim = c.Head
+			break
+		}
+	}
+	net.Kill(victim)
+	net.RunFor(8)
+
+	readings := map[NodeID]float64{}
+	for _, c := range net.Cells() {
+		for _, m := range c.Members {
+			readings[m] = 1
+		}
+	}
+	res, err := net.Collect(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count < len(readings)-2 {
+		t.Errorf("only %d of %d readings arrived after healing", res.Count, len(readings))
+	}
+}

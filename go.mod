@@ -1,0 +1,3 @@
+module gs3
+
+go 1.22

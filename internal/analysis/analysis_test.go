@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAlpha(t *testing.T) {
+	tests := []struct {
+		lambda, rt float64
+		want       float64
+	}{
+		{10, 0, 1},
+		{10, 1, math.Exp(-10)},
+		{0, 5, 1},
+		{10, 2, math.Exp(-40)},
+	}
+	for _, tt := range tests {
+		if got := Alpha(tt.lambda, tt.rt); math.Abs(got-tt.want) > 1e-15 {
+			t.Errorf("Alpha(%v,%v) = %v, want %v", tt.lambda, tt.rt, got, tt.want)
+		}
+	}
+}
+
+func TestAlphaMonotonicInRt(t *testing.T) {
+	prev := 2.0
+	for rt := 0.0; rt <= 3; rt += 0.1 {
+		a := Alpha(10, rt)
+		if a > prev {
+			t.Fatalf("alpha increased at rt=%v", rt)
+		}
+		prev = a
+	}
+}
+
+func TestPaperFigure7Claim(t *testing.T) {
+	// Paper: with λ=10, R=100, both curves are ≈0 once R_t/R ≥ 0.02,
+	// i.e. R_t ≥ 2.
+	ratio := NonIdealCellRatio(10, 0.02*100)
+	if ratio > 1e-15 {
+		t.Errorf("non-ideal ratio at Rt/R=0.02 is %v, want ≈0", ratio)
+	}
+	// And clearly nonzero at very small R_t.
+	if r := NonIdealCellRatio(10, 0.001*100); r < 0.9 {
+		t.Errorf("ratio at Rt/R=0.001 = %v, want near 1", r)
+	}
+}
+
+func TestPaperFigure8Claim(t *testing.T) {
+	d := GapRegionDiameter(10, 0.02*100, 100)
+	if d > 1e-10 {
+		t.Errorf("gap region diameter at Rt/R=0.02 is %v, want ≈0", d)
+	}
+	// Diverges as R_t→0.
+	if d := GapRegionDiameter(10, 0, 100); !math.IsInf(d, 1) {
+		t.Errorf("diameter at rt=0 = %v, want +Inf", d)
+	}
+}
+
+func TestGapRegionDiameterFormula(t *testing.T) {
+	// Hand check: α = 0.5 ⇒ diameter = 2R·0.5/0.25 = 4R.
+	lambda := math.Ln2 // e^{-λ·1²} = 0.5 at rt = 1
+	got := GapRegionDiameter(lambda, 1, 100)
+	if math.Abs(got-400) > 1e-9 {
+		t.Errorf("diameter = %v, want 400", got)
+	}
+}
+
+func TestExpectedNonIdealCells(t *testing.T) {
+	got := ExpectedNonIdealCells(1000, math.Ln2, 1) // α = 0.5
+	if math.Abs(got-500) > 1e-9 {
+		t.Errorf("E[Ge] = %v, want 500", got)
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	// Sum over k should be ≈1.
+	sum := 0.0
+	for k := 0; k < 100; k++ {
+		p := PoissonPMF(10, k)
+		if p < 0 {
+			t.Fatalf("negative pmf at k=%d", k)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %v", sum)
+	}
+	if PoissonPMF(0, 0) != 1 || PoissonPMF(0, 3) != 0 {
+		t.Error("degenerate mean=0 pmf wrong")
+	}
+	if PoissonPMF(-1, 2) != 0 || PoissonPMF(5, -1) != 0 {
+		t.Error("invalid inputs should yield 0")
+	}
+}
+
+func TestPoissonPMFLargeMean(t *testing.T) {
+	// Must not overflow/underflow for large means.
+	p := PoissonPMF(1e4, 1e4)
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Errorf("pmf(1e4,1e4) = %v", p)
+	}
+}
+
+func TestCellNodeCountMean(t *testing.T) {
+	if got := CellNodeCountMean(10, 100); got != 1e5 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestFigure7CurveDecreasing(t *testing.T) {
+	pts := Figure7Curve(10, 100, DefaultRatios())
+	if len(pts) == 0 {
+		t.Fatal("empty curve")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value > pts[i-1].Value {
+			t.Fatalf("Figure 7 curve not decreasing at %v", pts[i].RtOverR)
+		}
+	}
+	if pts[len(pts)-1].Value > 1e-10 {
+		t.Errorf("tail value = %v", pts[len(pts)-1].Value)
+	}
+}
+
+func TestFigure8CurveDecreasing(t *testing.T) {
+	pts := Figure8Curve(10, 100, DefaultRatios())
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value > pts[i-1].Value {
+			t.Fatalf("Figure 8 curve not decreasing at %v", pts[i].RtOverR)
+		}
+	}
+}
+
+func TestDefaultRatiosRange(t *testing.T) {
+	rs := DefaultRatios()
+	if len(rs) < 30 {
+		t.Fatalf("only %d ratios", len(rs))
+	}
+	if rs[0] > 0.0011 || rs[len(rs)-1] < 0.035 {
+		t.Errorf("ratio range [%v, %v]", rs[0], rs[len(rs)-1])
+	}
+}
+
+func TestFormatCurve(t *testing.T) {
+	out := FormatCurve("fig7", []CurvePoint{{0.01, 0.5}})
+	if !strings.Contains(out, "fig7") || !strings.Contains(out, "0.0100") {
+		t.Errorf("format output: %q", out)
+	}
+}
+
+func TestCandidateCountMean(t *testing.T) {
+	if got := CandidateCountMean(10, 25); got != 6250 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestCandidateSetEmptyProb(t *testing.T) {
+	if CandidateSetEmptyProb(10, 2) != Alpha(10, 2) {
+		t.Error("empty prob must equal alpha")
+	}
+}
+
+func TestLifetimeFactor(t *testing.T) {
+	// With zero idle cost, rotation gives the full nc factor.
+	if got := LifetimeFactor(50, 0); got != 50 {
+		t.Errorf("factor = %v", got)
+	}
+	// Idle cost caps the factor at f/idle = 1/idleRatio for large nc.
+	big := LifetimeFactor(1e9, 0.0125)
+	if math.Abs(big-80) > 1 {
+		t.Errorf("asymptote = %v, want ≈80", big)
+	}
+	// Monotone in nc.
+	if LifetimeFactor(20, 0.0125) >= LifetimeFactor(100, 0.0125) {
+		t.Error("factor not monotone in nc")
+	}
+	if LifetimeFactor(0, 0.1) != 0 {
+		t.Error("nc=0 should give 0")
+	}
+	// Spot-check the formula at the T2 experiment's regime (idleRatio =
+	// 1/80). These are the ideal upper envelopes; the measured T2
+	// factors (8.6/24.6/37.6) sit below them because the experiment's
+	// lifetime threshold (half the heads gone) fires before the full
+	// energy budget is spent.
+	for _, tc := range []struct{ nc, want float64 }{{37.4, 25.5}, {71.4, 37.8}, {135.6, 50.3}} {
+		got := LifetimeFactor(tc.nc, 0.0125)
+		if math.Abs(got-tc.want) > 1 {
+			t.Errorf("factor(%v) = %v, want ≈%v", tc.nc, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package channel assigns radio channels to the cells of a configured
+// GS³ structure for spatial frequency reuse — the benefit the paper's
+// introduction claims for bounded cell radii ("the smaller the cluster
+// radius, the more the frequency reuse").
+//
+// Because GS³'s cells sit on an exact hexagonal lattice, the classic
+// cellular reuse patterns apply directly: the reuse-3 sublattice
+// coloring gives every cell a channel from a fixed set of 3 such that
+// no two neighboring cells share one — the minimum possible, since the
+// triangular adjacency graph contains triangles. Irregular clusterings
+// (LEACH, hop-bounded) have no such structure and need a greedy
+// coloring with more channels.
+package channel
+
+import (
+	"fmt"
+
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/hexlat"
+	"gs3/internal/radio"
+)
+
+// Assignment maps cell heads to channel indices.
+type Assignment struct {
+	Channels map[radio.NodeID]int
+	// Count is the number of distinct channels used.
+	Count int
+}
+
+// Reuse3 assigns each cell one of 3 channels by the hexagonal reuse-3
+// sublattice pattern: a cell with lattice coordinate (a, b) relative to
+// the big node's cell gets channel (a − b) mod 3. Adjacent lattice
+// cells always differ, so no two neighboring cells share a channel.
+// Cells are located by their OIL (the unshifted lattice point), which
+// stays exact through structure slides.
+func Reuse3(snap core.Snapshot) (Assignment, error) {
+	bigView, ok := snap.View(snap.BigID)
+	if !ok {
+		return Assignment{}, fmt.Errorf("channel: snapshot has no big node")
+	}
+	origin := bigView.OIL
+	lat := hexlat.New(origin, snap.Config.HeadSpacing(), snap.Config.GR)
+	out := Assignment{Channels: map[radio.NodeID]int{}}
+	used := map[int]bool{}
+	for _, h := range snap.Heads() {
+		c := lat.Nearest(h.OIL)
+		// Guard against off-lattice OILs (corrupt state): refuse rather
+		// than hand out a colliding channel.
+		if lat.Center(c).Dist(h.OIL) > snap.Config.Rt {
+			return Assignment{}, fmt.Errorf("channel: head %d has off-lattice OIL", h.ID)
+		}
+		ch := ((c.A-c.B)%3 + 3) % 3
+		out.Channels[h.ID] = ch
+		used[ch] = true
+	}
+	out.Count = len(used)
+	return out, nil
+}
+
+// Conflicts returns the pairs of heads within interferenceRange of each
+// other that share a channel. A correct assignment returns none for
+// any range up to the reuse distance (3R for reuse-3: the next
+// same-channel cell center is √3·√3R = 3R away).
+func Conflicts(snap core.Snapshot, a Assignment, interferenceRange float64) [][2]radio.NodeID {
+	heads := snap.Heads()
+	var out [][2]radio.NodeID
+	for i, h := range heads {
+		for _, o := range heads[i+1:] {
+			if h.Pos.Dist(o.Pos) > interferenceRange {
+				continue
+			}
+			if a.Channels[h.ID] == a.Channels[o.ID] {
+				out = append(out, [2]radio.NodeID{h.ID, o.ID})
+			}
+		}
+	}
+	return out
+}
+
+// Greedy colors arbitrary cluster-head positions so no two heads within
+// interferenceRange share a channel, using first-fit in index order —
+// the best an unstructured clustering can do without global
+// coordination. It returns the assignment and the channel count.
+func Greedy(positions []geom.Point, interferenceRange float64) Assignment {
+	out := Assignment{Channels: map[radio.NodeID]int{}}
+	maxCh := 0
+	for i, p := range positions {
+		usedHere := map[int]bool{}
+		for j := 0; j < i; j++ {
+			if p.Dist(positions[j]) <= interferenceRange {
+				usedHere[out.Channels[radio.NodeID(j)]] = true
+			}
+		}
+		ch := 0
+		for usedHere[ch] {
+			ch++
+		}
+		out.Channels[radio.NodeID(i)] = ch
+		if ch+1 > maxCh {
+			maxCh = ch + 1
+		}
+	}
+	out.Count = maxCh
+	return out
+}

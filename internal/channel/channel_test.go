@@ -1,0 +1,136 @@
+package channel
+
+import (
+	"testing"
+
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/netsim"
+	"gs3/internal/radio"
+)
+
+func configuredSnap(t *testing.T, region float64) core.Snapshot {
+	t.Helper()
+	s, err := netsim.Build(netsim.DefaultOptions(100, region))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Net.Snapshot()
+}
+
+func TestReuse3UsesThreeChannels(t *testing.T) {
+	snap := configuredSnap(t, 450)
+	a, err := Reuse3(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 3 {
+		t.Errorf("channels used = %d, want 3", a.Count)
+	}
+	if len(a.Channels) != len(snap.Heads()) {
+		t.Errorf("assigned %d of %d heads", len(a.Channels), len(snap.Heads()))
+	}
+	for _, ch := range a.Channels {
+		if ch < 0 || ch > 2 {
+			t.Fatalf("channel %d out of range", ch)
+		}
+	}
+}
+
+func TestReuse3NoNeighborConflicts(t *testing.T) {
+	snap := configuredSnap(t, 450)
+	a, err := Reuse3(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No conflicts up to the neighbor distance…
+	if c := Conflicts(snap, a, snap.Config.NeighborDistMax()); len(c) != 0 {
+		t.Errorf("neighbor conflicts: %v", c)
+	}
+	// …and none even up to just below the reuse distance 3R − slack.
+	if c := Conflicts(snap, a, 3*snap.Config.R-2*snap.Config.Rt-1); len(c) != 0 {
+		t.Errorf("conflicts inside the reuse distance: %v", c)
+	}
+}
+
+func TestReuse3SurvivesHealing(t *testing.T) {
+	s, err := netsim.Build(netsim.DefaultOptions(100, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	// Kill a head; the replacement inherits the cell's OIL, so channel
+	// assignment stays stable.
+	var victim core.NodeView
+	for _, h := range s.Net.Snapshot().Heads() {
+		if !h.IsBig {
+			victim = h
+			break
+		}
+	}
+	before, err := Reuse3(s.Net.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimCh := before.Channels[victim.ID]
+	s.Net.Kill(victim.ID)
+	s.RunSweeps(6)
+
+	after, err := Reuse3(s.Net.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range s.Net.Snapshot().Heads() {
+		if h.IL.Dist(victim.IL) <= s.Opt.Config.Rt && h.ID != victim.ID {
+			if after.Channels[h.ID] != victimCh {
+				t.Errorf("replacement head got channel %d, cell had %d", after.Channels[h.ID], victimCh)
+			}
+		}
+	}
+	if c := Conflicts(s.Net.Snapshot(), after, s.Opt.Config.NeighborDistMax()); len(c) != 0 {
+		t.Errorf("conflicts after healing: %v", c)
+	}
+}
+
+func TestReuse3NoBigNode(t *testing.T) {
+	snap := configuredSnap(t, 300)
+	snap.BigID = 99999
+	if _, err := Reuse3(snap); err == nil {
+		t.Error("missing big node accepted")
+	}
+}
+
+func TestGreedyNoConflicts(t *testing.T) {
+	positions := []geom.Point{
+		{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 100, Y: 0}, {X: 25, Y: 40}, {X: 75, Y: 40}, {X: 300, Y: 0},
+	}
+	a := Greedy(positions, 60)
+	for i, p := range positions {
+		for j := 0; j < i; j++ {
+			if p.Dist(positions[j]) <= 60 &&
+				a.Channels[radio.NodeID(i)] == a.Channels[radio.NodeID(j)] {
+				t.Errorf("greedy conflict between %d and %d", i, j)
+			}
+		}
+	}
+	if a.Count < 2 {
+		t.Errorf("count = %d", a.Count)
+	}
+	// The far node reuses channel 0.
+	if a.Channels[radio.NodeID(5)] != 0 {
+		t.Errorf("distant node channel = %d", a.Channels[radio.NodeID(5)])
+	}
+}
+
+func TestGreedyEmpty(t *testing.T) {
+	a := Greedy(nil, 50)
+	if a.Count != 0 || len(a.Channels) != 0 {
+		t.Errorf("empty greedy = %+v", a)
+	}
+}

@@ -1,0 +1,436 @@
+// Package check machine-verifies the GS³ invariants and fixpoints on a
+// network snapshot: SI = I₁ ∧ I₂ ∧ I₃ (Theorem 1), SF = F₁ ∧ F₂ ∧ F₃ ∧
+// F₄ (Theorem 2), and their GS³-D relaxations DI/DF (Theorems 5 and 6).
+//
+// Every predicate returns a list of violations rather than a bare bool,
+// so tests and the bench harness can report exactly which node broke
+// which clause.
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+)
+
+// Violation is one broken invariant clause.
+type Violation struct {
+	Clause string       // e.g. "I2.1"
+	Node   radio.NodeID // offending node (radio.None for global clauses)
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s@%d: %s", v.Clause, v.Node, v.Detail)
+}
+
+// Mode selects the static (SI/SF) or dynamic (DI/DF) variants of the
+// clauses: the dynamic ones relax the hexagon bounds for cells whose
+// ⟨ICC, ICP⟩ differs from a neighbor's and raise the children bound
+// from 3 to 5.
+type Mode int
+
+// Checking modes.
+const (
+	Static Mode = iota + 1
+	Dynamic
+)
+
+// Result aggregates the violations of one full check.
+type Result struct {
+	Violations []Violation
+}
+
+// OK reports whether no clause was violated.
+func (r Result) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Result) addf(clause string, node radio.NodeID, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Clause: clause, Node: node, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// index provides O(1) lookups over a snapshot.
+type index struct {
+	snap  core.Snapshot
+	views map[radio.NodeID]core.NodeView
+	heads []core.NodeView
+}
+
+func newIndex(s core.Snapshot) *index {
+	ix := &index{snap: s, views: make(map[radio.NodeID]core.NodeView, len(s.Nodes))}
+	for _, v := range s.Nodes {
+		ix.views[v.ID] = v
+		if v.IsHead() {
+			ix.heads = append(ix.heads, v)
+		}
+	}
+	return ix
+}
+
+// isBoundary reports whether head h is a boundary cell head: one with
+// fewer than 6 heads in the neighbor distance band around it. The
+// paper's boundary cells (geographic edge or next to an R_t-gap region)
+// are exactly the cells missing lattice neighbors.
+func (ix *index) isBoundary(h core.NodeView) bool {
+	cfg := ix.snap.Config
+	count := 0
+	for _, o := range ix.heads {
+		if o.ID == h.ID {
+			continue
+		}
+		if h.Pos.Dist(o.Pos) <= cfg.NeighborDistMax()+1e-9 {
+			count++
+		}
+	}
+	return count < 6
+}
+
+// Invariant checks SI (mode Static) or DI (mode Dynamic) on the
+// snapshot.
+func Invariant(s core.Snapshot, mode Mode) Result {
+	ix := newIndex(s)
+	var r Result
+	checkI1(ix, &r)
+	checkI2(ix, mode, &r)
+	checkI3(ix, mode, &r)
+	return r
+}
+
+// checkI1 verifies connectivity: I₁.₁ (head-graph edges are physical
+// edges) and I₁.₂ (the head graph is a tree rooted at the big node).
+func checkI1(ix *index, r *Result) {
+	cfg := ix.snap.Config
+	bigID := ix.snap.BigID
+	big, haveBig := ix.views[bigID]
+
+	for _, h := range ix.heads {
+		// I1.1: parent and children within local-coordination range,
+		// hence physically connected (nodes can reach √3R+2Rt).
+		if h.Parent != radio.None && h.Parent != h.ID {
+			if p, ok := ix.views[h.Parent]; ok && p.IsHead() {
+				if d := h.Pos.Dist(p.Pos); d > cfg.SearchRadius()+2*cfg.Rt+1e-9 {
+					r.addf("I1.1", h.ID, "parent %d at distance %.3g beyond range", h.Parent, d)
+				}
+			}
+		}
+	}
+
+	if !haveBig || !(big.IsHead() || big.Status == core.StatusBigSlide || big.Status == core.StatusBigMove) {
+		if haveBig && !big.IsHead() {
+			return // big node not heading: tree roots at the proxy; skip
+		}
+	}
+
+	// I1.2: every head reaches a root (big node or the big node's
+	// proxy) by following parents, without cycles.
+	root := bigID
+	if haveBig && !big.IsHead() && big.Proxy != radio.None {
+		root = big.Proxy
+	}
+	for _, h := range ix.heads {
+		seen := map[radio.NodeID]bool{}
+		cur := h
+		for {
+			if cur.ID == root {
+				break
+			}
+			if seen[cur.ID] {
+				r.addf("I1.2", h.ID, "cycle through %d", cur.ID)
+				break
+			}
+			seen[cur.ID] = true
+			if cur.Parent == radio.None || cur.Parent == cur.ID {
+				r.addf("I1.2", h.ID, "walk stuck at %d (parent %d)", cur.ID, cur.Parent)
+				break
+			}
+			next, ok := ix.views[cur.Parent]
+			if !ok || !next.IsHead() {
+				r.addf("I1.2", h.ID, "parent %d of %d is not a live head", cur.Parent, cur.ID)
+				break
+			}
+			cur = next
+		}
+	}
+}
+
+// checkI2 verifies the hexagonal-structure clauses I₂.₁–I₂.₄.
+func checkI2(ix *index, mode Mode, r *Result) {
+	cfg := ix.snap.Config
+	lo, hi := cfg.NeighborDistMin(), cfg.NeighborDistMax()
+
+	for _, h := range ix.heads {
+		boundary := ix.isBoundary(h)
+
+		// Head within Rt of its IL (Corollary 2's bounded deviation).
+		if d := h.Pos.Dist(h.IL); d > cfg.Rt+1e-9 {
+			r.addf("I2.0", h.ID, "head %.3g from its IL (Rt=%.3g)", d, cfg.Rt)
+		}
+
+		// I2.1 / I2.2: neighbor-head distances.
+		for _, o := range ix.heads {
+			if o.ID == h.ID {
+				continue
+			}
+			d := h.Pos.Dist(o.Pos)
+			if d > hi+1e-9 {
+				continue // not a neighbor
+			}
+			if mode == Dynamic && o.Spiral != h.Spiral {
+				// Relaxed DI bound: distance tracks the IL distance
+				// within ±2Rt, and IL distance stays in (0, 2√3R).
+				ild := h.IL.Dist(o.IL)
+				if ild <= 0 || ild >= 2*cfg.HeadSpacing()+1e-9 {
+					r.addf("I2.1d", h.ID, "IL distance %.3g to %d outside (0, 2√3R)", ild, o.ID)
+				}
+				if math.Abs(d-ild) > 2*cfg.Rt+1e-9 {
+					r.addf("I2.1d", h.ID, "distance %.3g to %d deviates from IL distance %.3g by more than 2Rt", d, o.ID, ild)
+				}
+				continue
+			}
+			if d < lo-1e-9 {
+				r.addf("I2.1", h.ID, "neighbor %d at %.4g < %.4g", o.ID, d, lo)
+			}
+		}
+
+		// I2.3: children bound. The big node gets 6; a head acting as
+		// the moving big node's proxy stands in for it (distance 0) and
+		// gets the same bound.
+		isProxy := false
+		if big, ok := ix.views[ix.snap.BigID]; ok && big.Proxy == h.ID {
+			isProxy = true
+		}
+		limit := 3
+		if mode == Dynamic && !h.IsBig {
+			limit = 5
+		}
+		if h.IsBig || isProxy {
+			limit = 6
+		}
+		if len(h.Children) > limit {
+			r.addf("I2.3", h.ID, "%d children > limit %d", len(h.Children), limit)
+		}
+
+		// I2.4: cell radius. Inner cells: R + 2Rt/√3; dynamic mode with
+		// differing ⟨ICC,ICP⟩ relaxes to 2R + Rt; boundary cells to
+		// √3R + 2Rt (+ the gap-region diameter, which we cannot see
+		// locally, so boundary cells get the base bound only when no
+		// violation is certain).
+		bound := cfg.CellRadiusBound()
+		if mode == Dynamic {
+			bound = 2*cfg.R + cfg.Rt
+		}
+		if boundary {
+			bound = cfg.HeadSpacing() + 2*cfg.Rt
+		}
+		for _, m := range ix.snap.Members(h.ID) {
+			mv := ix.views[m]
+			if d := mv.Pos.Dist(h.Pos); d > bound+1e-9 && !boundary {
+				r.addf("I2.4", m, "associate %.4g from head %d, bound %.4g", d, h.ID, bound)
+			}
+		}
+	}
+}
+
+// checkI3 verifies inner-cell optimality: each associate of an inner
+// cell belongs to one cell and has chosen the closest head. In dynamic
+// mode only membership validity is required — a head shift moves the
+// head role instantly, and the neighbors' optimal re-choice happens on
+// their next sweep, so full optimality is a fixpoint property (F₃)
+// rather than an invariant under intra-cell maintenance.
+func checkI3(ix *index, mode Mode, r *Result) {
+	for _, v := range ix.snap.Nodes {
+		if v.Status != core.StatusAssociate {
+			continue
+		}
+		hv, ok := ix.views[v.Head]
+		if !ok || !hv.IsHead() {
+			r.addf("I3", v.ID, "associate of %d which is not a live head", v.Head)
+			continue
+		}
+		if mode == Dynamic {
+			if d := v.Pos.Dist(hv.Pos); d > ix.snap.Config.SearchRadius()+1e-9 {
+				r.addf("I3", v.ID, "associate %.4g from head %d, beyond coordination range", d, v.Head)
+			}
+			continue
+		}
+		if ix.isBoundary(hv) {
+			continue
+		}
+		chosen := v.Pos.Dist(hv.Pos)
+		for _, o := range ix.heads {
+			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
+				r.addf("I3", v.ID, "head %d at %.4g closer than chosen %d at %.4g", o.ID, d, v.Head, chosen)
+				break
+			}
+		}
+	}
+}
+
+// Fixpoint checks SF (mode Static) or DF (mode Dynamic): the invariant
+// clauses plus cell optimality for every cell (F₃), coverage (F₄), and
+// — in dynamic mode — the minimum-distance spanning tree property
+// (F₁.₂ strengthened).
+func Fixpoint(s core.Snapshot, mode Mode) Result {
+	ix := newIndex(s)
+	r := Invariant(s, mode)
+	checkF3(ix, &r)
+	checkF4(ix, &r)
+	if mode == Dynamic {
+		checkMinDistTree(ix, &r)
+	}
+	return r
+}
+
+// checkF3: every associate (boundary cells included) has the best head.
+func checkF3(ix *index, r *Result) {
+	for _, v := range ix.snap.Nodes {
+		if v.Status != core.StatusAssociate {
+			continue
+		}
+		hv, ok := ix.views[v.Head]
+		if !ok || !hv.IsHead() {
+			continue // reported by I3 already
+		}
+		chosen := v.Pos.Dist(hv.Pos)
+		for _, o := range ix.heads {
+			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
+				r.addf("F3", v.ID, "head %d at %.4g closer than chosen %.4g", o.ID, d, chosen)
+				break
+			}
+		}
+	}
+}
+
+// checkF4: every node connected to the big node is covered (is a head
+// or an associate). Connectivity is decided on the physical graph with
+// the maximum transmission range as edge length.
+func checkF4(ix *index, r *Result) {
+	cfg := ix.snap.Config
+	reach := connectedTo(ix.snap, ix.snap.BigID, cfg.SearchRadius())
+	for _, v := range ix.snap.Nodes {
+		if !reach[v.ID] {
+			continue
+		}
+		switch v.Status {
+		case core.StatusBootup:
+			r.addf("F4", v.ID, "connected node left at bootup")
+		case core.StatusAssociate:
+			if _, ok := ix.views[v.Head]; !ok {
+				r.addf("F4", v.ID, "associate of vanished head %d", v.Head)
+			}
+		}
+	}
+}
+
+// connectedTo computes the set of nodes connected to start in the
+// physical graph where nodes within txRange share an edge.
+func connectedTo(s core.Snapshot, start radio.NodeID, txRange float64) map[radio.NodeID]bool {
+	pos := make(map[radio.NodeID]geom.Point, len(s.Nodes))
+	for _, v := range s.Nodes {
+		pos[v.ID] = v.Pos
+	}
+	reach := map[radio.NodeID]bool{}
+	if _, ok := pos[start]; !ok {
+		return reach
+	}
+	queue := []radio.NodeID{start}
+	reach[start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for id, p := range pos {
+			if !reach[id] && p.Dist(pos[cur]) <= txRange {
+				reach[id] = true
+				queue = append(queue, id)
+			}
+		}
+	}
+	return reach
+}
+
+// checkMinDistTree verifies the strengthened F₁.₂ of GS³-D: the head
+// graph is a minimum-hop spanning tree of the head-neighbor graph
+// rooted at the big node (or its proxy).
+func checkMinDistTree(ix *index, r *Result) {
+	cfg := ix.snap.Config
+	root := ix.snap.BigID
+	if big, ok := ix.views[root]; ok && !big.IsHead() && big.Proxy != radio.None {
+		root = big.Proxy
+	}
+	if _, ok := ix.views[root]; !ok {
+		return
+	}
+	// BFS over the head-neighbor graph Ghn (heads within √3R+2Rt).
+	dist := map[radio.NodeID]int{root: 0}
+	queue := []radio.NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		cv := ix.views[cur]
+		for _, o := range ix.heads {
+			if o.ID == cur {
+				continue
+			}
+			if cv.Pos.Dist(o.Pos) <= cfg.NeighborDistMax()+1e-9 {
+				if _, seen := dist[o.ID]; !seen {
+					dist[o.ID] = dist[cur] + 1
+					queue = append(queue, o.ID)
+				}
+			}
+		}
+	}
+	for _, h := range ix.heads {
+		want, reachable := dist[h.ID]
+		if !reachable {
+			continue
+		}
+		if h.Hops != want {
+			r.addf("F1.2", h.ID, "hops %d, shortest path %d", h.Hops, want)
+		}
+	}
+}
+
+// StructureStats summarizes the configured structure for reporting.
+type StructureStats struct {
+	Heads          int
+	Associates     int
+	Bootup         int
+	NeighborDists  []float64 // head-to-head distances within the band
+	CellRadii      []float64 // associate-to-head distances
+	MaxILDeviation float64   // max head distance from its IL
+}
+
+// Stats computes structure statistics of a snapshot.
+func Stats(s core.Snapshot) StructureStats {
+	ix := newIndex(s)
+	cfg := s.Config
+	var st StructureStats
+	for _, v := range s.Nodes {
+		switch {
+		case v.IsHead():
+			st.Heads++
+			if d := v.Pos.Dist(v.IL); d > st.MaxILDeviation {
+				st.MaxILDeviation = d
+			}
+		case v.Status == core.StatusAssociate:
+			st.Associates++
+			if hv, ok := ix.views[v.Head]; ok {
+				st.CellRadii = append(st.CellRadii, v.Pos.Dist(hv.Pos))
+			}
+		case v.Status == core.StatusBootup:
+			st.Bootup++
+		}
+	}
+	for i, h := range ix.heads {
+		for _, o := range ix.heads[i+1:] {
+			if d := h.Pos.Dist(o.Pos); d <= cfg.NeighborDistMax()+1e-9 {
+				st.NeighborDists = append(st.NeighborDists, d)
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,120 @@
+// Package core implements the GS³ protocol itself: the node state
+// machine and the network-level actions of GS³-S (self-configuration in
+// static networks), GS³-D (self-healing in dynamic networks), and GS³-M
+// (mobile dynamic networks).
+//
+// The implementation follows the paper's granularity: each algorithm
+// module (HEAD_ORG, HEAD_SELECT, intra-/inter-cell maintenance, sanity
+// checking, …) executes as one atomic action on the simulated network,
+// and actions are charged virtual-time costs derived from the radio
+// model, so the convergence-time theorems can be checked directly.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds the protocol parameters.
+type Config struct {
+	// R is the ideal cell radius (problem statement requirement a).
+	R float64
+	// Rt is the radius tolerance: with high probability every disk of
+	// radius Rt contains a node. The paper's default is R/4.
+	Rt float64
+	// GR is the global reference direction (radians) diffused with the
+	// computation. Any value works; it must only be consistent.
+	GR float64
+
+	// HeartbeatInterval is the period of the intra-/inter-cell
+	// maintenance sweeps.
+	HeartbeatInterval float64
+	// BoundaryRescanEvery is how many sweeps pass between a boundary
+	// head's HEAD_ORG re-scans for newly appeared nodes.
+	BoundaryRescanEvery int
+	// SanityCheckEvery is how many sweeps pass between SANITY_CHECK
+	// executions at a head (the paper runs it "with low frequency").
+	SanityCheckEvery int
+
+	// AbandonSlack is the extra deviation (beyond the invariant's
+	// ±2·Rt) of the shifted IL's distance-to-neighbor-ILs that triggers
+	// cell abandonment.
+	AbandonSlack float64
+
+	// InitialEnergy is each small node's energy budget; 0 disables the
+	// energy model. The big node never runs out.
+	InitialEnergy float64
+	// AssociateDissipation is energy consumed per unit time by an
+	// associate; heads consume HeadEnergyFactor times as much. These
+	// drive the cell-shift "slide" behaviour of §4.1.
+	AssociateDissipation float64
+	HeadEnergyFactor     float64
+}
+
+// DefaultConfig returns the parameters used throughout the paper's
+// examples: Rt = R/4 (the default named in the proof of I₂.₃).
+func DefaultConfig(r float64) Config {
+	return Config{
+		R:                    r,
+		Rt:                   r / 4,
+		GR:                   0,
+		HeartbeatInterval:    1,
+		BoundaryRescanEvery:  5,
+		SanityCheckEvery:     7,
+		AbandonSlack:         0,
+		InitialEnergy:        0,
+		AssociateDissipation: 1,
+		HeadEnergyFactor:     5,
+	}
+}
+
+// Validate reports parameter errors.
+func (c Config) Validate() error {
+	if c.R <= 0 {
+		return fmt.Errorf("core: R must be positive, got %v", c.R)
+	}
+	if c.Rt <= 0 || c.Rt > c.R {
+		return fmt.Errorf("core: Rt must be in (0, R], got %v", c.Rt)
+	}
+	if c.HeartbeatInterval <= 0 {
+		return fmt.Errorf("core: HeartbeatInterval must be positive, got %v", c.HeartbeatInterval)
+	}
+	if c.BoundaryRescanEvery <= 0 || c.SanityCheckEvery <= 0 {
+		return fmt.Errorf("core: rescan/sanity periods must be positive")
+	}
+	if c.InitialEnergy < 0 || c.AssociateDissipation < 0 || c.HeadEnergyFactor < 0 {
+		return fmt.Errorf("core: energy parameters must be non-negative")
+	}
+	return nil
+}
+
+// HeadSpacing returns √3·R, the ideal distance between neighboring cell
+// heads.
+func (c Config) HeadSpacing() float64 {
+	return math.Sqrt(3) * c.R
+}
+
+// SearchRadius returns √3·R + 2·Rt, the radius of a head's search
+// region and the range of all local coordination in GS³.
+func (c Config) SearchRadius() float64 {
+	return c.HeadSpacing() + 2*c.Rt
+}
+
+// Alpha returns the angular slack a = asin(Rt/(√3·R)) that widens a
+// head's search sector so boundary nodes are not missed (paper §3.2).
+func (c Config) Alpha() float64 {
+	return math.Asin(c.Rt / c.HeadSpacing())
+}
+
+// NeighborDistMin and NeighborDistMax bound the distance between
+// neighboring heads with equal ⟨ICC, ICP⟩ (invariant I₂.₁/Corollary 1).
+func (c Config) NeighborDistMin() float64 { return c.HeadSpacing() - 2*c.Rt }
+
+// NeighborDistMax is the upper bound of Corollary 1.
+func (c Config) NeighborDistMax() float64 { return c.HeadSpacing() + 2*c.Rt }
+
+// CellRadiusBound returns R + 2·Rt/√3, the maximum associate-to-head
+// distance of invariant I₂.₄ for inner cells.
+func (c Config) CellRadiusBound() float64 {
+	return c.R + 2*c.Rt/math.Sqrt(3)
+}

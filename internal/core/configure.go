@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"gs3/internal/geom"
+	"gs3/internal/hexlat"
+	"gs3/internal/radio"
+	"gs3/internal/trace"
+)
+
+// StartConfiguration boots the GS³-S diffusing computation: the big node
+// assumes the head role for the 0-band cell (its IL is its own location)
+// and schedules its HEAD_ORG. Call Engine().Run to let the computation
+// diffuse; it terminates when the event queue drains (Corollary 4).
+func (nw *Network) StartConfiguration() error {
+	if nw.bigID == radio.None {
+		return fmt.Errorf("core: no big node in the network")
+	}
+	big := nw.nodes[nw.bigID]
+	pos := nw.Position(nw.bigID)
+	big.Status = StatusHead
+	big.IL = pos
+	big.OIL = pos
+	big.Spiral = hexlat.SpiralIndex{}
+	big.Parent = nw.bigID // P(H₀) = H₀
+	big.ParentIL = pos
+	big.Hops = 0
+	nw.scheduleHeadOrg(nw.bigID, 0)
+	return nil
+}
+
+// orgLatency is the virtual-time cost of one HEAD_ORG round: the org
+// broadcast out, the replies back, and the HeadSet broadcast out, each
+// covering the search radius.
+func (nw *Network) orgLatency() float64 {
+	return 3 * nw.med.Delay(nw.cfg.SearchRadius()+nw.cfg.Rt)
+}
+
+// scheduleHeadOrg queues a HEAD_ORG action for head id after delay.
+func (nw *Network) scheduleHeadOrg(id radio.NodeID, delay float64) {
+	nw.eng.After(delay, "head_org", func() { nw.HeadOrg(id) })
+}
+
+// HeadOrg executes the HEAD_ORG module at head id: it discovers the
+// nodes in its search region, selects heads for the neighboring cells
+// whose ILs are not yet owned (HEAD_SELECT), announces the selection,
+// and lets the small nodes in range (re-)choose their best head
+// (ASSOCIATE_ORG_RESP). The head then transitions to status work.
+//
+// The action is a no-op if id is dead or no longer in a head role —
+// exactly the behaviour of a crashed initiator in the paper's model.
+func (nw *Network) HeadOrg(id radio.NodeID) {
+	h := nw.nodes[id]
+	if h == nil || !nw.Alive(id) || !h.Status.IsHeadRole() {
+		return
+	}
+	nw.metrics.HeadOrgs++
+	nw.emit(trace.KindHeadOrg, id, radio.None, h.IL)
+	cfg := nw.cfg
+
+	// The org broadcast must reach the whole search region, whose apex
+	// is IL(i); the head itself may sit up to Rt from its IL, so it
+	// widens its transmission range by Rt.
+	receivers, _ := nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
+
+	isRoot := h.IsBig && h.Parent == id
+	sector := SearchSector(cfg, h.IL, h.ParentIL, isRoot)
+
+	// Partition the responders. Head selection (HEAD_SELECT) considers
+	// only nodes inside the search sector, but ASSOCIATE_ORG_RESP runs
+	// at every small node that hears the org broadcast.
+	var smallNodes, existingHeads, allSmall []radio.NodeID
+	for _, rid := range receivers {
+		rn := nw.nodes[rid]
+		if rn == nil || !nw.Alive(rid) {
+			continue
+		}
+		if rn.Status == StatusBootup || rn.Status == StatusAssociate {
+			allSmall = append(allSmall, rid)
+		}
+		p := nw.Position(rid)
+		if !sector.Contains(p) {
+			continue
+		}
+		nw.metrics.ReplyMessages++
+		switch {
+		case rn.Status.IsHeadRole():
+			existingHeads = append(existingHeads, rid)
+		case rn.Status == StatusBootup || rn.Status == StatusAssociate:
+			smallNodes = append(smallNodes, rid)
+		}
+	}
+
+	// HEAD_SELECT over the neighboring ILs.
+	for _, il := range NeighborILs(cfg, h.IL, h.ParentIL, isRoot) {
+		if owner, ok := nw.ilOwner(il); ok {
+			// Step 2: the IL already has a head; record neighborhood.
+			nw.linkNeighbors(id, owner)
+			continue
+		}
+		if nw.ilConflicts(il) {
+			continue
+		}
+		ca := nw.caOf(il, smallNodes)
+		best, ok := BestCandidate(il, cfg.GR, ca, nw.Position)
+		if !ok {
+			// Rt-gap at this IL (or boundary): GS³-D skips the cell and
+			// re-checks later (boundary rescan).
+			continue
+		}
+		nw.promoteToHead(best, il, h, h.Hops+1)
+		nw.linkNeighbors(id, best)
+		h.Children = addUnique(h.Children, best)
+		nw.scheduleHeadOrg(best, nw.orgLatency())
+	}
+
+	// HeadSet broadcast; every small node in range re-chooses its best
+	// head (ASSOCIATE_ORG_RESP).
+	nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
+	for _, rid := range allSmall {
+		if nw.Alive(rid) && !nw.nodes[rid].Status.IsHeadRole() {
+			nw.ChooseHead(rid)
+		}
+	}
+
+	h.Status = StatusWork
+}
+
+// ilOwner reports whether some existing head owns the cell at il, i.e.
+// its own IL is within Rt of il. It prefers the closest owner.
+func (nw *Network) ilOwner(il geom.Point) (radio.NodeID, bool) {
+	best := radio.None
+	bestD := nw.cfg.Rt
+	for _, hid := range nw.headRoleAt(il, nw.cfg.Rt) {
+		hn := nw.nodes[hid]
+		if d := hn.IL.Dist(il); d <= bestD {
+			best, bestD = hid, d
+		}
+	}
+	return best, best != radio.None
+}
+
+// ilConflicts reports whether creating a cell head at il would put two
+// heads illegally close: some existing head sits within the minimum
+// legal neighbor-head distance √3R − 2Rt of il. A corrupted node's
+// off-lattice ILs always conflict with the real structure, so this
+// guard keeps state corruption from cascading through HEAD_ORG.
+func (nw *Network) ilConflicts(il geom.Point) bool {
+	return len(nw.headRoleAt(il, nw.cfg.NeighborDistMin())) > 0
+}
+
+// caOf returns CA(il): the small nodes within Rt of il (HEAD_SELECT
+// Step 3).
+func (nw *Network) caOf(il geom.Point, smallNodes []radio.NodeID) []radio.NodeID {
+	var out []radio.NodeID
+	for _, id := range smallNodes {
+		if nw.Position(id).Dist(il) <= nw.cfg.Rt {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// promoteToHead installs the head role on node id for the cell at il.
+// The new cell inherits the selecting head's ⟨ICC, ICP⟩ shift state
+// (the SYN_CELL convention): its OIL is the unshifted lattice point, so
+// same-spiral neighbor ILs stay exactly √3·R apart even after slides.
+func (nw *Network) promoteToHead(id radio.NodeID, il geom.Point, scanner *Node, hops int) {
+	n := nw.nodes[id]
+	n.Status = StatusHead
+	n.IL = il
+	n.OIL = il.Add(scanner.OIL.Sub(scanner.IL))
+	n.Spiral = scanner.Spiral
+	n.Parent = scanner.ID
+	n.ParentIL = scanner.IL
+	n.Hops = hops
+	n.Head = radio.None
+	n.Candidate = false
+	nw.metrics.HeadsSelected++
+	nw.emit(trace.KindHeadSelected, id, scanner.ID, il)
+}
+
+// linkNeighbors records a–b as neighboring cell heads on both sides.
+func (nw *Network) linkNeighbors(a, b radio.NodeID) {
+	if a == b {
+		return
+	}
+	an, bn := nw.nodes[a], nw.nodes[b]
+	if an == nil || bn == nil {
+		return
+	}
+	an.Neighbors = addUnique(an.Neighbors, b)
+	bn.Neighbors = addUnique(bn.Neighbors, a)
+}
+
+// ChooseHead runs ASSOCIATE_ORG_RESP for small node id: among the alive
+// head-role nodes within the local-coordination range of the node, pick
+// the best (closest; ties broken by the ⟨d,|A|,A⟩ angle rule with GR)
+// and become its associate. The node becomes (or stays) bootup when no
+// head is in range. Returns the chosen head or radio.None.
+func (nw *Network) ChooseHead(id radio.NodeID) radio.NodeID {
+	n := nw.nodes[id]
+	if n == nil || !nw.Alive(id) || n.Status.IsHeadRole() || n.IsBig {
+		return radio.None
+	}
+	p := nw.Position(id)
+	heads := nw.headRoleAt(p, nw.cfg.SearchRadius())
+	best, ok := BestCandidate(p, nw.cfg.GR, heads, nw.Position)
+	if !ok {
+		n.becomeBootup()
+		return radio.None
+	}
+	n.becomeAssociate(best)
+	bn := nw.nodes[best]
+	n.Candidate = nw.Position(id).Dist(bn.IL) <= nw.cfg.Rt
+	if n.Candidate {
+		// Candidates replicate the cell state from the HeadSet
+		// broadcast so the cell survives its head's death.
+		n.CellIL, n.CellOIL, n.CellSpiral = bn.IL, bn.OIL, bn.Spiral
+	}
+	return best
+}
+
+// SettleAssociates runs ChooseHead for every alive non-head small node,
+// in ID order. It is the network-wide equivalent of every node having
+// heard the org broadcasts of all nearby heads, and is used by the
+// harness to verify fixpoint F₃ (each associate has the best head).
+// It returns the number of nodes whose head changed.
+func (nw *Network) SettleAssociates() int {
+	changed := 0
+	for _, id := range nw.SortedIDs() {
+		n := nw.nodes[id]
+		if n == nil || !nw.Alive(id) || n.Status.IsHeadRole() || n.IsBig {
+			continue
+		}
+		before := n.Head
+		nw.ChooseHead(id)
+		if n.Head != before {
+			changed++
+		}
+	}
+	return changed
+}

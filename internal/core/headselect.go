@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+)
+
+// NeighborILs computes the ideal locations of the neighboring cells in a
+// head's search region (HEAD_SELECT Step 1, paper Figure 3).
+//
+// The reference direction RD′ is IL(P(i)) → IL(i); candidate ILs are the
+// points √3·R from IL(i) at angles j·60° from RD′. The big node (its own
+// parent, search region ⟨0°, 360°⟩) gets all six directions starting at
+// GR; every other head gets the three forward directions j ∈ {−1, 0, 1}
+// (search region ⟨−60°−a, 60°+a⟩).
+func NeighborILs(cfg Config, il, parentIL geom.Point, isRoot bool) []geom.Point {
+	spacing := cfg.HeadSpacing()
+	if isRoot {
+		out := make([]geom.Point, 6)
+		for j := 0; j < 6; j++ {
+			out[j] = il.Add(geom.UnitAt(cfg.GR + float64(j)*math.Pi/3).Scale(spacing))
+		}
+		return out
+	}
+	ref := il.Sub(parentIL)
+	if ref.Len() == 0 {
+		// Degenerate (corrupted) parent pointer: fall back to GR so the
+		// action stays total; sanity checking will repair the state.
+		ref = geom.UnitAt(cfg.GR)
+	}
+	base := ref.Angle()
+	out := make([]geom.Point, 0, 3)
+	for _, j := range []float64{-1, 0, 1} {
+		out = append(out, il.Add(geom.UnitAt(base+j*math.Pi/3).Scale(spacing)))
+	}
+	return out
+}
+
+// SearchSector returns the angular search region of a head for
+// organizing (HEAD_ORG's ⟨LD, RD⟩): the full circle for the big node,
+// ⟨−60°−a, 60°+a⟩ around IL(P(i))→IL(i) otherwise, with radius
+// √3·R + 2·Rt.
+func SearchSector(cfg Config, il, parentIL geom.Point, isRoot bool) geom.Sector {
+	if isRoot {
+		return geom.Sector{Apex: il, Ref: geom.UnitAt(cfg.GR), Lo: -math.Pi, Hi: math.Pi, Radius: cfg.SearchRadius()}
+	}
+	ref := il.Sub(parentIL)
+	if ref.Len() == 0 {
+		ref = geom.UnitAt(cfg.GR)
+	}
+	a := cfg.Alpha()
+	return geom.Sector{
+		Apex:   il,
+		Ref:    ref,
+		Lo:     -math.Pi/3 - a,
+		Hi:     math.Pi/3 + a,
+		Radius: cfg.SearchRadius(),
+	}
+}
+
+// Ranked is a node together with its HEAD_SELECT ranking key.
+type Ranked struct {
+	ID   radio.NodeID
+	D    float64 // distance to the ideal location (highest significance)
+	AbsA float64 // |A|: magnitude of the angle from GR to IL→node
+	A    float64 // signed angle (clockwise negative)
+}
+
+// rankKeyLess implements the paper's lexicographic order ⟨d, |A|, A⟩,
+// with node ID as a final deterministic tie-break (two nodes at the
+// exact same position are not distinguishable geometrically).
+func rankKeyLess(a, b Ranked) bool {
+	if a.D != b.D {
+		return a.D < b.D
+	}
+	if a.AbsA != b.AbsA {
+		return a.AbsA < b.AbsA
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.ID < b.ID
+}
+
+// RankCandidates orders the nodes in CA(il) — candidates for heading the
+// cell whose ideal location is il — by the paper's ⟨d, |A|, A⟩ key
+// (HEAD_SELECT Step 4). pos maps candidate IDs to their positions; gr is
+// the global reference direction.
+func RankCandidates(il geom.Point, gr float64, ids []radio.NodeID, pos func(radio.NodeID) geom.Point) []Ranked {
+	ref := geom.UnitAt(gr)
+	out := make([]Ranked, 0, len(ids))
+	for _, id := range ids {
+		p := pos(id)
+		v := p.Sub(il)
+		a := 0.0
+		if v.Len() > 0 {
+			a = geom.SignedAngle(ref, v)
+		}
+		out = append(out, Ranked{ID: id, D: il.Dist(p), AbsA: math.Abs(a), A: a})
+	}
+	sort.Slice(out, func(i, j int) bool { return rankKeyLess(out[i], out[j]) })
+	return out
+}
+
+// BestCandidate returns the highest-ranked node of CA(il), or
+// (radio.None, false) if ids is empty.
+func BestCandidate(il geom.Point, gr float64, ids []radio.NodeID, pos func(radio.NodeID) geom.Point) (radio.NodeID, bool) {
+	ranked := RankCandidates(il, gr, ids, pos)
+	if len(ranked) == 0 {
+		return radio.None, false
+	}
+	return ranked[0].ID, true
+}

@@ -1,0 +1,691 @@
+package core
+
+import (
+	"math"
+
+	"gs3/internal/geom"
+	"gs3/internal/hexlat"
+	"gs3/internal/radio"
+	"gs3/internal/trace"
+)
+
+// Variant selects which algorithm layer the maintenance sweeps run.
+type Variant int
+
+// Algorithm variants (paper sections 3, 4, 5).
+const (
+	VariantS Variant = iota + 1 // static: no maintenance
+	VariantD                    // dynamic: GS³-D healing
+	VariantM                    // mobile dynamic: GS³-D + big-node mobility
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantS:
+		return "GS3-S"
+	case VariantD:
+		return "GS3-D"
+	case VariantM:
+		return "GS3-M"
+	}
+	return "invalid"
+}
+
+// StartMaintenance schedules the recurring per-node maintenance sweeps
+// that implement GS³-D (and, with VariantM, GS³-M). Each node sweeps
+// every HeartbeatInterval with a deterministic per-node phase so sweeps
+// interleave rather than firing simultaneously.
+func (nw *Network) StartMaintenance(v Variant) {
+	if v == VariantS {
+		return
+	}
+	nw.variant = v
+	if nw.maintaining {
+		return
+	}
+	nw.maintaining = true
+	interval := nw.cfg.HeartbeatInterval
+	for _, id := range nw.SortedIDs() {
+		phase := interval * float64(int(id)%17) / 17
+		nw.scheduleSweep(id, phase)
+	}
+}
+
+// StopMaintenance stops rescheduling sweeps; already-queued sweeps still
+// fire but do nothing.
+func (nw *Network) StopMaintenance() {
+	nw.maintaining = false
+}
+
+func (nw *Network) scheduleSweep(id radio.NodeID, delay float64) {
+	nw.eng.After(delay, "sweep", func() { nw.sweep(id) })
+}
+
+// sweep is one maintenance round at node id: heartbeat exchange,
+// failure detection, healing, and energy dissipation.
+func (nw *Network) sweep(id radio.NodeID) {
+	if !nw.maintaining {
+		return
+	}
+	n := nw.nodes[id]
+	if n == nil || n.Status == StatusDead {
+		return
+	}
+	n.sweep++
+
+	nw.drainEnergy(n)
+	if n.Status == StatusDead {
+		return
+	}
+
+	switch {
+	case n.IsBig:
+		nw.sweepBig(n)
+	case n.Status.IsHeadRole():
+		nw.headIntraCell(n)
+		if n.Status.IsHeadRole() { // may have retreated
+			nw.headInterCell(n)
+		}
+		if n.Status.IsHeadRole() && n.sweep%nw.cfg.SanityCheckEvery == 0 {
+			nw.SanityCheck(id)
+		}
+	case n.Status == StatusAssociate:
+		nw.associateIntraCell(n)
+	case n.Status == StatusBootup:
+		nw.ChooseHead(id)
+	}
+
+	nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+}
+
+// drainEnergy applies the energy model for one sweep interval. The big
+// node is mains-powered in the paper's model and never dies.
+func (nw *Network) drainEnergy(n *Node) {
+	if nw.cfg.InitialEnergy == 0 || n.IsBig {
+		return
+	}
+	rate := nw.cfg.AssociateDissipation
+	if n.Status.IsHeadRole() {
+		rate *= nw.cfg.HeadEnergyFactor
+	}
+	n.Energy -= rate * nw.cfg.HeartbeatInterval
+	if n.Energy <= 0 {
+		nw.Kill(n.ID)
+	}
+}
+
+// lowEnergy reports whether a head should proactively retreat: it could
+// not survive another sweep as head but could as an associate.
+func (nw *Network) lowEnergy(n *Node) bool {
+	if nw.cfg.InitialEnergy == 0 || n.IsBig {
+		return false
+	}
+	headCost := nw.cfg.AssociateDissipation * nw.cfg.HeadEnergyFactor * nw.cfg.HeartbeatInterval
+	return n.Energy <= headCost
+}
+
+// ---- Intra-cell maintenance (HEAD_INTRA_CELL & friends) ----
+
+// headIntraCell executes the intra-cell maintenance of head h:
+// heartbeats with associates, proactive retreat when resource-scarce
+// (head shift), cell strengthening when the candidate set is empty
+// (cell shift), and cell abandonment when the cell is heavily perturbed.
+func (nw *Network) headIntraCell(h *Node) {
+	candidates := nw.Candidates(h.ID)
+
+	// Heartbeat: candidates refresh their copy of the cell state.
+	for _, cid := range candidates {
+		c := nw.nodes[cid]
+		c.Candidate = true
+		c.CellIL, c.CellOIL, c.CellSpiral = h.IL, h.OIL, h.Spiral
+	}
+
+	if nw.lowEnergy(h) && len(candidates) > 0 {
+		// head_retreat: the highest-ranked candidate takes over.
+		if best, ok := BestCandidate(h.IL, nw.cfg.GR, candidates, nw.Position); ok {
+			nw.transferHeadRole(h, nw.nodes[best])
+			nw.metrics.HeadShifts++
+			return
+		}
+	}
+
+	if len(candidates) == 0 {
+		nw.StrengthenCell(h.ID)
+	}
+}
+
+// StrengthenCell implements cell shift: advance the cell's current IL
+// along the ⟨ICC, ICP⟩ spiral (pitch √3·Rt, oriented by GR, anchored at
+// the OIL) to the next IL inside the cell's coverage whose candidate
+// area is non-empty, then hand the head role to the best node there. If
+// no such IL exists, or the shifted IL would violate the hexagonal
+// relation with the neighboring cells beyond the allowed deviation, the
+// cell is abandoned.
+func (nw *Network) StrengthenCell(id radio.NodeID) {
+	h := nw.nodes[id]
+	if h == nil || !h.Status.IsHeadRole() {
+		return
+	}
+	cfg := nw.cfg
+	lat := hexlat.New(h.OIL, math.Sqrt(3)*cfg.Rt, cfg.GR)
+
+	// Members that can serve the shifted cell: current associates plus
+	// bootup nodes inside the cell's coverage.
+	members := nw.cellMembers(h)
+
+	maxRing := int(cfg.R/(math.Sqrt(3)*cfg.Rt)) + 2
+	idx := h.Spiral
+	for steps := 0; steps < 1+3*maxRing*(maxRing+1); steps++ {
+		idx = hexlat.NextSpiral(idx)
+		if idx.ICC > maxRing {
+			break
+		}
+		il := lat.Center(hexlat.SpiralPoint(idx))
+		if il.Dist(h.OIL) > cfg.R {
+			continue // outside the cell's coverage
+		}
+		ca := nw.caOf(il, members)
+		if len(ca) == 0 {
+			continue
+		}
+		if nw.ilDeviatesTooMuch(h, il) {
+			break // heavy perturbation: abandon below
+		}
+		// Shift the cell and hand over the head role.
+		nw.metrics.CellShifts++
+		nw.emit(trace.KindCellShift, h.ID, radio.None, il)
+		h.IL = il
+		h.Spiral = idx
+		best, _ := BestCandidate(il, cfg.GR, ca, nw.Position)
+		if best != h.ID {
+			nw.transferHeadRole(h, nw.nodes[best])
+			nw.metrics.HeadShifts++
+		}
+		return
+	}
+	nw.AbandonCell(id)
+}
+
+// ilDeviatesTooMuch implements the abandonment trigger: the distance
+// between the shifted IL and a living neighbor's IL must stay within
+// (0, 2·√3·R) — the bound the GS³-D invariant places on neighboring ILs
+// with different ⟨ICC, ICP⟩ — minus the configured slack.
+func (nw *Network) ilDeviatesTooMuch(h *Node, il geom.Point) bool {
+	limit := 2*nw.cfg.HeadSpacing() - nw.cfg.AbandonSlack
+	for _, nid := range h.Neighbors {
+		nh := nw.nodes[nid]
+		if nh == nil || !nw.Alive(nid) || !nh.Status.IsHeadRole() {
+			continue
+		}
+		d := il.Dist(nh.IL)
+		if d <= 0 || d >= limit {
+			return true
+		}
+	}
+	return false
+}
+
+// cellMembers returns the nodes eligible to serve cell h: its alive
+// associates and any bootup node within the cell's coverage.
+func (nw *Network) cellMembers(h *Node) []radio.NodeID {
+	var out []radio.NodeID
+	for _, id := range nw.med.WithinRange(h.OIL, nw.cfg.R+nw.cfg.Rt, h.ID) {
+		n := nw.nodes[id]
+		if n == nil || !nw.Alive(id) || n.IsBig {
+			continue
+		}
+		if (n.Status == StatusAssociate && n.Head == h.ID) || n.Status == StatusBootup {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// transferHeadRole moves the entire cell-head state from old to new:
+// the paper's head_retreat + candidate election, or the handover after
+// a cell shift. Parent, children, and neighbor links are re-pointed.
+func (nw *Network) transferHeadRole(old, repl *Node) {
+	nw.emit(trace.KindHeadShift, old.ID, repl.ID, old.IL)
+	repl.Status = StatusHead
+	repl.IL, repl.OIL, repl.Spiral = old.IL, old.OIL, old.Spiral
+	repl.Parent, repl.ParentIL, repl.Hops = old.Parent, old.ParentIL, old.Hops
+	repl.Children = append([]radio.NodeID(nil), old.Children...)
+	repl.Neighbors = append([]radio.NodeID(nil), old.Neighbors...)
+	repl.Head = radio.None
+	repl.Candidate = false
+	repl.Children = removeID(repl.Children, repl.ID)
+	repl.Neighbors = removeID(repl.Neighbors, repl.ID)
+
+	nw.repointLinks(old.ID, repl.ID)
+
+	if old.IsBig {
+		// BIG_SLIDE: the big node cedes headship but stays special; it
+		// reclaims the role when the cell's IL returns to it.
+		old.Status = StatusBigSlide
+		old.Head = repl.ID
+		old.resetHeadState()
+	} else {
+		old.becomeAssociate(repl.ID)
+		old.Candidate = nw.Position(old.ID).Dist(repl.IL) <= nw.cfg.Rt
+	}
+	repl.Status = StatusWork
+}
+
+// repointLinks rewrites parent/children/neighbor references from old to
+// repl on the surrounding heads and re-homes the old head's associates.
+func (nw *Network) repointLinks(old, repl radio.NodeID) {
+	for _, id := range nw.SortedIDs() {
+		n := nw.nodes[id]
+		if n == nil || id == old || id == repl {
+			continue
+		}
+		if n.Parent == old {
+			n.Parent = repl
+			if rn := nw.nodes[repl]; rn != nil {
+				n.ParentIL = rn.IL
+			}
+		}
+		if containsID(n.Children, old) {
+			n.removeChild(old)
+			n.Children = addUnique(n.Children, repl)
+		}
+		if containsID(n.Neighbors, old) {
+			n.removeNeighbor(old)
+			n.Neighbors = addUnique(n.Neighbors, repl)
+		}
+		if n.Status == StatusAssociate && n.Head == old {
+			n.Head = repl
+		}
+		if n.Proxy == old {
+			n.Proxy = repl
+		}
+	}
+}
+
+// AbandonCell implements cell abandonment: every node of the cell
+// (including the head) transits to bootup and re-joins a neighboring
+// cell on its next sweep.
+func (nw *Network) AbandonCell(id radio.NodeID) {
+	h := nw.nodes[id]
+	if h == nil || !h.Status.IsHeadRole() {
+		return
+	}
+	nw.metrics.Abandonments++
+	nw.emit(trace.KindAbandon, id, radio.None, h.IL)
+	for _, aid := range nw.Associates(id) {
+		nw.nodes[aid].becomeBootup()
+	}
+	if h.IsBig {
+		h.Status = StatusBigSlide
+		h.resetHeadState()
+		return
+	}
+	h.becomeBootup()
+}
+
+// associateIntraCell is the maintenance sweep of an associate (and of a
+// candidate, which is an associate within Rt of the cell's IL): detect
+// head failure and heal it by head shift (candidates) or by re-joining
+// (non-candidates); otherwise keep the best head.
+func (nw *Network) associateIntraCell(n *Node) {
+	head := nw.nodes[n.Head]
+	headOK := head != nil && nw.Alive(n.Head) && (head.Status.IsHeadRole() || head.IsBig) &&
+		nw.med.Dist(n.ID, n.Head) <= nw.cfg.SearchRadius()
+
+	if headOK && head.Status.IsHeadRole() {
+		// Heartbeat succeeded: re-evaluate candidacy and head choice.
+		n.Candidate = nw.Position(n.ID).Dist(head.IL) <= nw.cfg.Rt
+		if n.Candidate {
+			n.CellIL, n.CellOIL, n.CellSpiral = head.IL, head.OIL, head.Spiral
+		}
+		nw.ChooseHead(n.ID) // switch if a better head appeared
+		return
+	}
+
+	// Head failed (or left the head role without telling us).
+	if n.Candidate {
+		nw.electFromCandidates(n)
+		return
+	}
+	n.becomeBootup()
+	nw.ChooseHead(n.ID)
+}
+
+// electFromCandidates implements the candidate coordination after a
+// head failure: the candidates of the dead head's cell (identified by
+// the cell IL each candidate carries) elect the highest-ranked one as
+// the new head, which inherits the cell state the candidates replicate.
+func (nw *Network) electFromCandidates(detector *Node) {
+	deadHead := detector.Head
+	il := detector.CellIL
+	var candidates []radio.NodeID
+	for _, id := range nw.med.WithinRange(il, nw.cfg.Rt, radio.None) {
+		c := nw.nodes[id]
+		if c != nil && nw.Alive(id) && c.Status == StatusAssociate && c.Head == deadHead {
+			candidates = append(candidates, id)
+		}
+	}
+	best, ok := BestCandidate(il, nw.cfg.GR, candidates, nw.Position)
+	if !ok {
+		detector.becomeBootup()
+		nw.ChooseHead(detector.ID)
+		return
+	}
+	repl := nw.nodes[best]
+	repl.Status = StatusWork
+	repl.IL, repl.OIL, repl.Spiral = detector.CellIL, detector.CellOIL, detector.CellSpiral
+	repl.Parent = radio.None // re-acquired by inter-cell maintenance
+	repl.Hops = unknownHops
+	repl.Head = radio.None
+	repl.Candidate = false
+	nw.metrics.Promotions++
+	nw.metrics.HeadShifts++
+	nw.emit(trace.KindPromotion, best, deadHead, repl.IL)
+	// Remaining members re-attach; the dead head's ID is dangling state
+	// that each member clears on its own sweep, but re-pointing the
+	// obvious ones now models the election broadcast within the cell.
+	nw.repointLinks(deadHead, best)
+}
+
+// unknownHops marks a hop count that must be re-learned from neighbors.
+const unknownHops = 1 << 20
+
+// ---- Inter-cell maintenance (HEAD_INTER_CELL) ----
+
+// headInterCell executes inter-cell maintenance at head h: refresh the
+// neighbor-head set, maintain the min-distance parent (fixpoint F₁.₂),
+// repair failed children by re-organizing, and rescan the boundary for
+// newly appeared nodes.
+func (nw *Network) headInterCell(h *Node) {
+	cfg := nw.cfg
+
+	// head_inter_alive: the neighbor set is re-derived from the medium
+	// every sweep, which makes it self-stabilizing by construction.
+	pos := nw.Position(h.ID)
+	neighbors := nw.headRoleAt(pos, cfg.SearchRadius())
+	neighbors = removeID(neighbors, h.ID)
+	h.Neighbors = neighbors
+
+	// Children list hygiene: drop entries that are no longer heads.
+	lostChild := false
+	for _, c := range append([]radio.NodeID(nil), h.Children...) {
+		cn := nw.nodes[c]
+		if cn == nil || !nw.Alive(c) || !cn.Status.IsHeadRole() {
+			h.removeChild(c)
+			lostChild = true
+		}
+	}
+
+	nw.ParentSeek(h.ID)
+
+	// A lost child's cell gets one heartbeat of grace for its own
+	// intra-cell maintenance (head shift) before the parent repairs it
+	// with HEAD_ORG — the paper's priority order. The periodic boundary
+	// rescan runs unconditionally.
+	repairDue := h.pendingChildRepair
+	h.pendingChildRepair = lostChild
+	if repairDue || h.sweep%cfg.BoundaryRescanEvery == 0 {
+		h.pendingChildRepair = false
+		nw.RescanAround(h.ID)
+	}
+}
+
+// ParentSeek maintains h's parent as the neighboring head closest (in
+// head-graph hops) to the big node, the distributed Bellman–Ford step
+// that realizes fixpoint F₁.₂. The big node and the current proxy are
+// the distance-0 roots.
+func (nw *Network) ParentSeek(id radio.NodeID) {
+	h := nw.nodes[id]
+	if h == nil || !h.Status.IsHeadRole() {
+		return
+	}
+	if nw.isRootHead(h) {
+		h.Hops = 0
+		h.Parent = id
+		h.ParentIL = h.IL
+		return
+	}
+	nw.metrics.ParentSeeks++
+
+	bestParent := radio.None
+	bestHops := unknownHops
+	bestDist := math.Inf(1)
+	for _, nid := range h.Neighbors {
+		nh := nw.nodes[nid]
+		if nh == nil || !nw.Alive(nid) || !nh.Status.IsHeadRole() {
+			continue
+		}
+		d := nw.med.Dist(id, nid)
+		if nh.Hops < bestHops || (nh.Hops == bestHops && d < bestDist) {
+			bestParent, bestHops, bestDist = nid, nh.Hops, d
+		}
+	}
+	if bestParent == radio.None {
+		// Disconnected from every head: hold state; a later sweep or a
+		// neighbor's rescan will reconnect us.
+		h.Hops = unknownHops
+		return
+	}
+	// Paper rule: switch only when a neighbor is strictly closer to the
+	// big node than the current parent. A live current parent at the
+	// same hop distance is kept — this stickiness is what contains the
+	// impact of a big-node move to the √3·d/2 region of Theorem 11.
+	if cp := nw.nodes[h.Parent]; h.Parent != radio.None && cp != nil &&
+		nw.Alive(h.Parent) && cp.Status.IsHeadRole() &&
+		containsID(h.Neighbors, h.Parent) && cp.Hops <= bestHops {
+		h.ParentIL = cp.IL
+		h.Hops = cp.Hops + 1
+		return
+	}
+	old := h.Parent
+	h.Parent = bestParent
+	h.ParentIL = nw.nodes[bestParent].IL
+	h.Hops = bestHops + 1
+	if old != bestParent {
+		if on := nw.nodes[old]; on != nil {
+			on.removeChild(id)
+		}
+		nw.nodes[bestParent].Children = addUnique(nw.nodes[bestParent].Children, id)
+		nw.emit(trace.KindParentChange, id, bestParent, h.IL)
+	}
+}
+
+// isRootHead reports whether h anchors the head graph: the big node
+// acting as head, or the proxy of a moving big node.
+func (nw *Network) isRootHead(h *Node) bool {
+	if h.IsBig {
+		return true
+	}
+	if big := nw.nodes[nw.bigID]; big != nil && big.Status == StatusBigMove && big.Proxy == h.ID {
+		return true
+	}
+	return false
+}
+
+// RescanAround runs HEAD_ORG at head id over the full circle of six
+// neighboring ILs: the boundary-rescan and child-repair duty of
+// HEAD_INTER_CELL. Unowned ILs with a non-empty candidate area get a
+// head; newly appeared bootup nodes in range re-choose heads.
+func (nw *Network) RescanAround(id radio.NodeID) {
+	h := nw.nodes[id]
+	if h == nil || !nw.Alive(id) || !h.Status.IsHeadRole() {
+		return
+	}
+	nw.metrics.HeadOrgs++
+	nw.emit(trace.KindHeadOrg, id, radio.None, h.IL)
+	cfg := nw.cfg
+	receivers, _ := nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
+
+	var smallNodes []radio.NodeID
+	for _, rid := range receivers {
+		rn := nw.nodes[rid]
+		if rn == nil || !nw.Alive(rid) {
+			continue
+		}
+		nw.metrics.ReplyMessages++
+		if rn.Status == StatusBootup || rn.Status == StatusAssociate {
+			smallNodes = append(smallNodes, rid)
+		}
+	}
+
+	for _, il := range nw.sixILs(h) {
+		if owner, ok := nw.ilOwner(il); ok {
+			nw.linkNeighbors(id, owner)
+			continue
+		}
+		if nw.ilConflicts(il) {
+			continue
+		}
+		ca := nw.caOf(il, smallNodes)
+		best, ok := BestCandidate(il, cfg.GR, ca, nw.Position)
+		if !ok {
+			continue
+		}
+		nw.promoteToHead(best, il, h, h.Hops+1)
+		nw.linkNeighbors(id, best)
+		h.Children = addUnique(h.Children, best)
+		nw.scheduleHeadOrg(best, nw.orgLatency())
+	}
+
+	nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
+	for _, rid := range smallNodes {
+		if nw.Alive(rid) && !nw.nodes[rid].Status.IsHeadRole() {
+			nw.ChooseHead(rid)
+		}
+	}
+}
+
+// sixILs returns the six neighboring-cell ILs around h's cell, oriented
+// by the direction from the parent's IL (or GR at the root) — the full
+// local view of the cell lattice.
+func (nw *Network) sixILs(h *Node) []geom.Point {
+	base := nw.cfg.GR
+	if ref := h.IL.Sub(h.ParentIL); ref.Len() > 0 {
+		base = ref.Angle()
+	}
+	out := make([]geom.Point, 6)
+	for j := 0; j < 6; j++ {
+		out[j] = h.IL.Add(geom.UnitAt(base + float64(j)*math.Pi/3).Scale(nw.cfg.HeadSpacing()))
+	}
+	return out
+}
+
+// ---- Sanity checking (SANITY_CHECK) ----
+
+// SanityCheck verifies head id's state against the hexagonal invariant
+// and retreats (head_retreat_corrupted) when the state is found corrupt
+// while every neighboring head attests a valid state. If some neighbor
+// is invalid too, the node cannot decide and re-checks next period
+// (exactly the paper's rule). It returns true when the state was found
+// valid.
+//
+// Validity is a head's *self* consistency with the structure it claims
+// membership of: it sits within Rt of its IL, and its IL lies on its
+// parent's cell lattice (distance exactly √3·R when both cells are in
+// the same ⟨ICC, ICP⟩ shift state, and within the DI bound otherwise).
+// A corrupted node fails its own check while leaving its neighbors'
+// checks intact, so a lone corruption is always decided; contiguous
+// corrupted regions are peeled from their boundary inward, giving the
+// O(D_c) stabilization of Theorem 7.
+func (nw *Network) SanityCheck(id radio.NodeID) bool {
+	h := nw.nodes[id]
+	if h == nil || !nw.Alive(id) || !h.Status.IsHeadRole() {
+		return true
+	}
+	// Self-evident corruption — my own position versus my own claimed
+	// IL — needs no attestation: retreat immediately.
+	if nw.headSelfEvidentCorrupt(h) {
+		nw.sanityRetreat(h)
+		return false
+	}
+	if nw.headRelationalValid(h) {
+		return true
+	}
+	// Relational violation: either I am corrupt or a neighbor is.
+	// sanity_check_req: retreat only if every neighbor attests a fully
+	// valid state; otherwise wait and re-check next period.
+	for _, nid := range h.Neighbors {
+		nh := nw.nodes[nid]
+		if nh == nil || !nw.Alive(nid) || !nh.Status.IsHeadRole() {
+			continue
+		}
+		if !nw.headStateValid(nh) {
+			return false
+		}
+	}
+	nw.sanityRetreat(h)
+	return false
+}
+
+// sanityRetreat implements head_retreat_corrupted: the head and every
+// member of its cell transit to bootup and re-join fresh, so corrupted
+// cell state (a displaced IL replicated into the candidates) cannot
+// re-elect itself.
+func (nw *Network) sanityRetreat(h *Node) {
+	nw.metrics.SanityRetreats++
+	nw.emit(trace.KindSanityRetreat, h.ID, radio.None, h.IL)
+	id := h.ID
+	for _, aid := range nw.Associates(id) {
+		nw.nodes[aid].becomeBootup()
+	}
+	h.becomeBootup()
+	nw.ChooseHead(id)
+}
+
+// ilLatticeTol is the tolerance for "exactly √3R" IL distances; ILs are
+// derived by exact lattice arithmetic, so only float error accumulates.
+func (nw *Network) ilLatticeTol() float64 {
+	return 1e-6 * nw.cfg.R
+}
+
+// headSelfEvidentCorrupt holds when a head's state contradicts facts it
+// can observe alone: it is farther than Rt from the IL it claims to
+// serve, or it is a non-root head with no parent.
+func (nw *Network) headSelfEvidentCorrupt(h *Node) bool {
+	if nw.Position(h.ID).Dist(h.IL) > nw.cfg.Rt {
+		return true
+	}
+	return !nw.isRootHead(h) && h.Parent == radio.None
+}
+
+// headRelationalValid checks the hexagonal relation between h's IL and
+// its live parent's IL: exactly √3·R when both cells share a ⟨ICC,ICP⟩
+// shift state, within the DI bound (0, 2√3·R) otherwise. A parent in
+// transition cannot invalidate the child.
+func (nw *Network) headRelationalValid(h *Node) bool {
+	if nw.isRootHead(h) {
+		return true
+	}
+	p := nw.nodes[h.Parent]
+	if p == nil || !nw.Alive(h.Parent) || !p.Status.IsHeadRole() {
+		return true
+	}
+	d := h.IL.Dist(p.IL)
+	if p.Spiral == h.Spiral {
+		return math.Abs(d-nw.cfg.HeadSpacing()) <= nw.ilLatticeTol()
+	}
+	return d > 0 && d < 2*nw.cfg.HeadSpacing()
+}
+
+// headStateValid is the full validity predicate used when attesting to
+// a neighbor's sanity_check_req.
+func (nw *Network) headStateValid(h *Node) bool {
+	return !nw.headSelfEvidentCorrupt(h) && nw.headRelationalValid(h)
+}
+
+// ---- Node join (SMALL_NODE_BOOT_UP) ----
+
+// Join adds a new small node at p to a running network and lets it find
+// a head (or stay bootup and retry on its sweeps). It returns the new
+// node's ID.
+func (nw *Network) Join(p geom.Point) radio.NodeID {
+	id, _ := nw.AddNode(p, false)
+	nw.metrics.Joins++
+	nw.emit(trace.KindJoin, id, radio.None, p)
+	nw.ChooseHead(id)
+	if nw.maintaining {
+		nw.scheduleSweep(id, nw.cfg.HeartbeatInterval*float64(int(id)%17)/17)
+	}
+	return id
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+
+	"gs3/internal/radio"
+	"gs3/internal/trace"
+)
+
+// sweepBig is the big node's maintenance round. In dynamic networks
+// (GS³-D) the big node participates through BIG_SLIDE: it cedes the head
+// role when its cell's IL slides away and reclaims it when the IL
+// returns. In mobile networks (GS³-M) it additionally runs BIG_MOVE:
+// when it has moved more than Rt from its cell's IL it retreats,
+// appoints the closest head as its proxy (distance-to-big 0), and
+// reclaims headship when it re-enters the Rt-disk of some cell's IL.
+func (nw *Network) sweepBig(b *Node) {
+	switch b.Status {
+	case StatusHead, StatusWork:
+		nw.bigAsHead(b)
+	case StatusBigSlide:
+		nw.bigSlide(b)
+	case StatusBigMove:
+		nw.bigMove(b)
+	case StatusBootup:
+		// A freshly perturbed big node re-enters through the same path
+		// as BIG_MOVE: adopt a proxy, then reclaim a cell.
+		b.Status = StatusBigMove
+		nw.bigMove(b)
+	}
+}
+
+// bigAsHead runs while the big node holds the head role.
+func (nw *Network) bigAsHead(b *Node) {
+	pos := nw.Position(b.ID)
+	if pos.Dist(b.IL) > nw.cfg.Rt {
+		// The big node is no longer a legal head for its cell (it moved,
+		// or the cell shifted under it).
+		candidates := nw.Candidates(b.ID)
+		if best, ok := BestCandidate(b.IL, nw.cfg.GR, candidates, nw.Position); ok {
+			nw.transferHeadRole(b, nw.nodes[best])
+			nw.metrics.HeadShifts++
+		} else {
+			// Nobody can take the cell over; abandon it.
+			nw.AbandonCell(b.ID)
+		}
+		if nw.variant == VariantM {
+			b.Status = StatusBigMove
+			nw.adoptProxy(b)
+		}
+		return
+	}
+	// Normal head duties.
+	nw.headIntraCell(b)
+	if b.Status.IsHeadRole() {
+		nw.headInterCell(b)
+	}
+}
+
+// bigSlide implements BIG_SLIDE: while the head level structure slides,
+// the big node stays an ordinary cell member; it resumes the head role
+// when the current IL of the cell it sits in comes back within Rt.
+func (nw *Network) bigSlide(b *Node) {
+	if nw.variant == VariantM {
+		// In mobile networks the big node handles this state as a move.
+		b.Status = StatusBigMove
+		nw.bigMove(b)
+		return
+	}
+	nw.reclaimIfPossible(b)
+}
+
+// bigMove implements BIG_MOVE: keep the closest head as proxy and
+// reclaim headship when possible.
+func (nw *Network) bigMove(b *Node) {
+	if nw.reclaimIfPossible(b) {
+		return
+	}
+	nw.adoptProxy(b)
+}
+
+// reclaimIfPossible replaces the head of a cell whose current IL is
+// within Rt of the big node (the paper's replacing_head message) and
+// returns true on success.
+func (nw *Network) reclaimIfPossible(b *Node) bool {
+	pos := nw.Position(b.ID)
+	for _, hid := range nw.headRoleAt(pos, nw.cfg.SearchRadius()) {
+		h := nw.nodes[hid]
+		if h.IsBig {
+			continue
+		}
+		if pos.Dist(h.IL) <= nw.cfg.Rt {
+			nw.clearProxy(b)
+			nw.transferHeadRole(h, b)
+			nw.metrics.HeadShifts++
+			nw.emit(trace.KindBigReclaim, b.ID, h.ID, h.IL)
+			return true
+		}
+	}
+	return false
+}
+
+// adoptProxy points the big node at the closest alive head and lets the
+// head-graph distances re-root there (ParentSeek treats the proxy as
+// distance 0).
+func (nw *Network) adoptProxy(b *Node) {
+	pos := nw.Position(b.ID)
+	best := radio.None
+	bestD := math.Inf(1)
+	for _, hid := range nw.headRoleAt(pos, nw.cfg.SearchRadius()) {
+		if nw.nodes[hid].IsBig {
+			continue
+		}
+		if d := nw.med.Dist(b.ID, hid); d < bestD {
+			best, bestD = hid, d
+		}
+	}
+	if best != radio.None && best != b.Proxy {
+		b.Proxy = best
+		nw.emit(trace.KindProxyChange, b.ID, best, pos)
+	}
+}
+
+// clearProxy drops the proxy relationship when the big node resumes a
+// head role.
+func (nw *Network) clearProxy(b *Node) {
+	b.Proxy = radio.None
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gs3/internal/trace"
+
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+	"gs3/internal/rng"
+	"gs3/internal/sim"
+)
+
+// Metrics counts protocol-level actions and messages. Radio-level
+// traffic (broadcasts, deliveries) is counted by the medium itself.
+type Metrics struct {
+	HeadOrgs       uint64 // HEAD_ORG executions
+	HeadsSelected  uint64 // nodes promoted to head by HEAD_SELECT
+	ReplyMessages  uint64 // org_reply / head_org_reply unicasts
+	HeadShifts     uint64 // intra-cell head replacements
+	CellShifts     uint64 // STRENGTHEN_CELL IL advances
+	Abandonments   uint64 // cells abandoned
+	SanityRetreats uint64 // heads retreating after failed sanity check
+	ParentSeeks    uint64 // PARENT_SEEK executions
+	Joins          uint64 // nodes that joined a configured network
+	Promotions     uint64 // candidate promotions on head failure
+}
+
+// Network is the simulated GS³ network: the medium, the event engine,
+// and all node state. All protocol actions are methods on Network and
+// execute atomically with respect to one another.
+type Network struct {
+	cfg    Config
+	med    *radio.Medium
+	eng    *sim.Engine
+	src    *rng.Source
+	nodes  map[radio.NodeID]*Node
+	nextID radio.NodeID
+
+	metrics Metrics
+
+	// bigID is the big node (always 0 by construction).
+	bigID radio.NodeID
+
+	// maintaining gates the GS³-D/GS³-M sweep loop; variant selects the
+	// algorithm layer the sweeps run.
+	maintaining bool
+	variant     Variant
+
+	// tracer, when set, records protocol events.
+	tracer *trace.Log
+}
+
+// NewNetwork creates an empty network. The big node must be added first
+// via AddNode with big=true.
+func NewNetwork(cfg Config, radioParams radio.Params, src *rng.Source) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if radioParams.CellSize == 0 {
+		radioParams.CellSize = cfg.SearchRadius()
+	}
+	med, err := radio.NewMedium(radioParams, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:   cfg,
+		med:   med,
+		eng:   sim.NewEngine(),
+		src:   src,
+		nodes: make(map[radio.NodeID]*Node),
+		bigID: radio.None,
+	}, nil
+}
+
+// AddNode places a new node at p and returns its ID. The first big node
+// becomes the network's big node; adding a second big node is an error.
+func (nw *Network) AddNode(p geom.Point, big bool) (radio.NodeID, error) {
+	if big && nw.bigID != radio.None {
+		return radio.None, fmt.Errorf("core: network already has big node %d", nw.bigID)
+	}
+	id := nw.nextID
+	nw.nextID++
+	n := NewNode(id, big, nw.cfg.InitialEnergy)
+	nw.nodes[id] = n
+	nw.med.Place(id, p)
+	if big {
+		nw.bigID = id
+	}
+	return id, nil
+}
+
+// Config returns the protocol parameters.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Engine returns the event engine driving the network.
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Medium returns the radio medium.
+func (nw *Network) Medium() *radio.Medium { return nw.med }
+
+// Metrics returns a copy of the protocol action counters.
+func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// BigID returns the big node's ID, or radio.None if absent.
+func (nw *Network) BigID() radio.NodeID { return nw.bigID }
+
+// Node returns the node with the given ID, or nil.
+func (nw *Network) Node(id radio.NodeID) *Node {
+	return nw.nodes[id]
+}
+
+// Position returns a node's current position. It returns the zero point
+// for nodes no longer on the medium.
+func (nw *Network) Position(id radio.NodeID) geom.Point {
+	p, _ := nw.med.Position(id)
+	return p
+}
+
+// Alive reports whether the node exists and is on the medium.
+func (nw *Network) Alive(id radio.NodeID) bool {
+	n := nw.nodes[id]
+	return n != nil && n.Status != StatusDead && nw.med.Alive(id)
+}
+
+// SortedIDs returns all node IDs (including dead ones) in ascending
+// order; deterministic iteration order for sweeps and snapshots.
+func (nw *Network) SortedIDs() []radio.NodeID {
+	out := make([]radio.NodeID, 0, len(nw.nodes))
+	for id := range nw.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// headRoleAt returns the alive head-role nodes within dist of p.
+func (nw *Network) headRoleAt(p geom.Point, dist float64) []radio.NodeID {
+	var out []radio.NodeID
+	for _, id := range nw.med.WithinRange(p, dist, radio.None) {
+		if n := nw.nodes[id]; n != nil && n.Status.IsHeadRole() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Associates returns the alive associates of head h (nodes whose Head
+// field names h), found by a local range query around h's cell.
+func (nw *Network) Associates(h radio.NodeID) []radio.NodeID {
+	hn := nw.nodes[h]
+	if hn == nil {
+		return nil
+	}
+	// Members can be up to √3R+2Rt from the IL in perturbed cells.
+	var out []radio.NodeID
+	for _, id := range nw.med.WithinRange(hn.IL, nw.cfg.SearchRadius(), h) {
+		if n := nw.nodes[id]; n != nil && n.Status == StatusAssociate && n.Head == h {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Candidates returns the alive associates of h within Rt of h's current
+// IL — the head-candidate set of §4.1.
+func (nw *Network) Candidates(h radio.NodeID) []radio.NodeID {
+	hn := nw.nodes[h]
+	if hn == nil {
+		return nil
+	}
+	var out []radio.NodeID
+	for _, id := range nw.med.WithinRange(hn.IL, nw.cfg.Rt, h) {
+		if n := nw.nodes[id]; n != nil && n.Status == StatusAssociate && n.Head == h {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Kill removes a node from the network abruptly (fail-stop / death).
+// Healing is left to the maintenance actions of the surviving nodes.
+func (nw *Network) Kill(id radio.NodeID) {
+	n := nw.nodes[id]
+	if n == nil || n.Status == StatusDead {
+		return
+	}
+	n.Status = StatusDead
+	nw.emit(trace.KindDeath, id, radio.None, nw.Position(id))
+	nw.med.Remove(id)
+}
+
+// Move changes a node's position (GS³-M perturbation). The protocol
+// reacts through the maintenance sweeps.
+func (nw *Network) Move(id radio.NodeID, p geom.Point) {
+	if nw.Alive(id) {
+		nw.med.Place(id, p)
+	}
+}

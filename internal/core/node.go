@@ -1,0 +1,160 @@
+package core
+
+import (
+	"gs3/internal/geom"
+	"gs3/internal/hexlat"
+	"gs3/internal/radio"
+)
+
+// Status is a node's protocol status (paper Figures 2, 6, 9).
+type Status int
+
+// Node statuses. Head and Work are both "head roles": Head means
+// selected but HEAD_ORG not yet executed; Work means organizing is done.
+const (
+	StatusBootup Status = iota + 1
+	StatusHead
+	StatusWork
+	StatusAssociate
+	StatusBigSlide // big node ceded headship during a cell slide
+	StatusBigMove  // big node moving, represented by a proxy
+	StatusDead
+)
+
+var statusNames = map[Status]string{
+	StatusBootup:    "bootup",
+	StatusHead:      "head",
+	StatusWork:      "work",
+	StatusAssociate: "associate",
+	StatusBigSlide:  "big_slide",
+	StatusBigMove:   "big_move",
+	StatusDead:      "dead",
+}
+
+// String returns the paper's name for the status.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return "invalid"
+}
+
+// IsHeadRole reports whether the status carries the head role.
+func (s Status) IsHeadRole() bool {
+	return s == StatusHead || s == StatusWork
+}
+
+// Node is the per-node protocol state. GS³'s scalability claim is that
+// this state references only a constant number of other nodes: one head
+// for associates, and parent + ≤6 neighbors + ≤5 children for heads.
+type Node struct {
+	ID    radio.NodeID
+	IsBig bool
+
+	Status Status
+
+	// Head-role state.
+	IL        geom.Point         // current ideal location of the cell
+	OIL       geom.Point         // original ideal location
+	Spiral    hexlat.SpiralIndex // ⟨ICC, ICP⟩ of IL relative to OIL
+	Parent    radio.NodeID
+	ParentIL  geom.Point // IL of the parent's cell: the reference direction source
+	Children  []radio.NodeID
+	Neighbors []radio.NodeID // neighboring cell heads
+	Hops      int            // hop distance to the big node in the head graph
+
+	// Associate-role state.
+	Head      radio.NodeID
+	Candidate bool // within Rt of its cell's current IL
+	// Candidates replicate the cell state they hear in heartbeats, so
+	// the cell survives its head's death (head shift).
+	CellIL     geom.Point
+	CellOIL    geom.Point
+	CellSpiral hexlat.SpiralIndex
+
+	// Big-node mobility state (GS³-M).
+	Proxy radio.NodeID
+
+	// Energy model.
+	Energy float64
+
+	// sweep counts maintenance rounds, for low-frequency sub-actions.
+	sweep int
+	// pendingChildRepair delays parent-side repair of a lost child by
+	// one heartbeat, giving the cell's own head shift priority.
+	pendingChildRepair bool
+}
+
+// NewNode returns a node in bootup status.
+func NewNode(id radio.NodeID, big bool, energy float64) *Node {
+	return &Node{
+		ID:     id,
+		IsBig:  big,
+		Status: StatusBootup,
+		Parent: radio.None,
+		Head:   radio.None,
+		Proxy:  radio.None,
+		Energy: energy,
+	}
+}
+
+// resetHeadState clears head-role fields when a node leaves the head
+// role.
+func (n *Node) resetHeadState() {
+	n.Children = nil
+	n.Neighbors = nil
+	n.Parent = radio.None
+	n.Hops = 0
+}
+
+// becomeAssociate transitions the node to associate of head h.
+func (n *Node) becomeAssociate(h radio.NodeID) {
+	n.Status = StatusAssociate
+	n.Head = h
+	n.Candidate = false
+	n.resetHeadState()
+}
+
+// becomeBootup clears all relationships.
+func (n *Node) becomeBootup() {
+	n.Status = StatusBootup
+	n.Head = radio.None
+	n.Candidate = false
+	n.resetHeadState()
+}
+
+// removeChild deletes id from the children list.
+func (n *Node) removeChild(id radio.NodeID) {
+	n.Children = removeID(n.Children, id)
+}
+
+// removeNeighbor deletes id from the neighbor-head list.
+func (n *Node) removeNeighbor(id radio.NodeID) {
+	n.Neighbors = removeID(n.Neighbors, id)
+}
+
+func removeID(ids []radio.NodeID, id radio.NodeID) []radio.NodeID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func containsID(ids []radio.NodeID, id radio.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// addUnique appends id if absent.
+func addUnique(ids []radio.NodeID, id radio.NodeID) []radio.NodeID {
+	if containsID(ids, id) {
+		return ids
+	}
+	return append(ids, id)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"gs3/internal/geom"
+	"gs3/internal/hexlat"
+	"gs3/internal/radio"
+)
+
+// NodeView is an immutable copy of one node's protocol state, taken for
+// invariant checking, metrics, and rendering.
+type NodeView struct {
+	ID        radio.NodeID
+	Pos       geom.Point
+	IsBig     bool
+	Status    Status
+	IL        geom.Point
+	OIL       geom.Point
+	Spiral    hexlat.SpiralIndex
+	Parent    radio.NodeID
+	Children  []radio.NodeID
+	Neighbors []radio.NodeID
+	Hops      int
+	Head      radio.NodeID
+	Candidate bool
+	Proxy     radio.NodeID
+	Energy    float64
+}
+
+// IsHead reports whether the node holds the head role in this view.
+func (v NodeView) IsHead() bool {
+	return v.Status.IsHeadRole()
+}
+
+// Snapshot is a consistent copy of the whole network state.
+type Snapshot struct {
+	Config Config
+	Time   float64
+	BigID  radio.NodeID
+	Nodes  []NodeView // ascending ID; dead nodes excluded
+}
+
+// Snapshot captures the current network state. Dead nodes are omitted:
+// they have left the system model.
+func (nw *Network) Snapshot() Snapshot {
+	s := Snapshot{Config: nw.cfg, Time: nw.eng.Now(), BigID: nw.bigID}
+	for _, id := range nw.SortedIDs() {
+		n := nw.nodes[id]
+		if n == nil || n.Status == StatusDead {
+			continue
+		}
+		s.Nodes = append(s.Nodes, NodeView{
+			ID:        id,
+			Pos:       nw.Position(id),
+			IsBig:     n.IsBig,
+			Status:    n.Status,
+			IL:        n.IL,
+			OIL:       n.OIL,
+			Spiral:    n.Spiral,
+			Parent:    n.Parent,
+			Children:  append([]radio.NodeID(nil), n.Children...),
+			Neighbors: append([]radio.NodeID(nil), n.Neighbors...),
+			Hops:      n.Hops,
+			Head:      n.Head,
+			Candidate: n.Candidate,
+			Proxy:     n.Proxy,
+			Energy:    n.Energy,
+		})
+	}
+	return s
+}
+
+// Heads returns the views of all head-role nodes.
+func (s Snapshot) Heads() []NodeView {
+	var out []NodeView
+	for _, v := range s.Nodes {
+		if v.IsHead() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// View returns the view of node id, or (zero, false).
+func (s Snapshot) View(id radio.NodeID) (NodeView, bool) {
+	for _, v := range s.Nodes {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return NodeView{}, false
+}
+
+// Members returns the IDs of the associates of head id in this
+// snapshot.
+func (s Snapshot) Members(id radio.NodeID) []radio.NodeID {
+	var out []radio.NodeID
+	for _, v := range s.Nodes {
+		if v.Status == StatusAssociate && v.Head == id {
+			out = append(out, v.ID)
+		}
+	}
+	return out
+}
+
+// CorruptionKind selects a state-corruption perturbation.
+type CorruptionKind int
+
+// Kinds of state corruption the harness can inject (paper: "node state
+// corruptions" are arbitrary; these cover the protocol-relevant state).
+const (
+	CorruptIL CorruptionKind = iota + 1
+	CorruptHops
+	CorruptStatus
+)
+
+// Corrupt injects a state corruption at node id: displace its IL, smash
+// its hop count, or flip an associate into a bogus head. delta scales
+// the damage (for CorruptIL it is the displacement distance). Healing is
+// left to sanity checking and the maintenance sweeps.
+func (nw *Network) Corrupt(id radio.NodeID, kind CorruptionKind, delta float64) {
+	n := nw.nodes[id]
+	if n == nil || n.Status == StatusDead {
+		return
+	}
+	switch kind {
+	case CorruptIL:
+		if n.Status.IsHeadRole() {
+			n.IL = n.IL.Add(geom.UnitAt(float64(id)).Scale(delta))
+		}
+	case CorruptHops:
+		if n.Status.IsHeadRole() {
+			n.Hops = int(delta)
+		}
+	case CorruptStatus:
+		if n.Status == StatusAssociate {
+			// The node wrongly believes it is a head of a cell at its
+			// own position — a classic arbitrary-state start.
+			n.Status = StatusWork
+			n.IL = nw.Position(id)
+			n.OIL = n.IL
+			n.Spiral = hexlat.SpiralIndex{}
+			n.Parent = radio.None
+			n.Hops = unknownHops
+		}
+	}
+}

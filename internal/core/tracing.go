@@ -1,0 +1,32 @@
+package core
+
+import (
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+	"gs3/internal/trace"
+)
+
+// SetTracer installs a protocol event log; pass nil to disable tracing.
+// The engine is single-threaded, so the log needs no synchronization.
+func (nw *Network) SetTracer(l *trace.Log) {
+	nw.tracer = l
+}
+
+// Tracer returns the installed event log, or nil.
+func (nw *Network) Tracer() *trace.Log {
+	return nw.tracer
+}
+
+// emit records a protocol event when tracing is enabled.
+func (nw *Network) emit(kind trace.Kind, node, other radio.NodeID, pos geom.Point) {
+	if nw.tracer == nil {
+		return
+	}
+	nw.tracer.Record(trace.Event{
+		Time:  nw.eng.Now(),
+		Kind:  kind,
+		Node:  node,
+		Other: other,
+		Pos:   pos,
+	})
+}

@@ -1,0 +1,69 @@
+package exp
+
+import "testing"
+
+func TestRtSweepTightness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	tb, err := RtSweep(100, 350, []float64{0.15, 0.25, 0.4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		q, maxDev, spread := row[0], row[2], row[4]
+		rt := q * 100
+		// Corollary 2: head IL deviation bounded by Rt.
+		if maxDev > rt+1e-9 {
+			t.Errorf("Rt/R=%v: IL deviation %v > Rt %v", q, maxDev, rt)
+		}
+		// Corollary 1: neighbor-distance spread bounded by 4Rt.
+		if spread > 4*rt+1e-9 {
+			t.Errorf("Rt/R=%v: spread %v > 4Rt %v", q, spread, 4*rt)
+		}
+	}
+	// Tighter tolerance ⇒ tighter structure.
+	if tb.Rows[0][2] > tb.Rows[2][2] {
+		t.Errorf("IL deviation did not grow with Rt: %v vs %v", tb.Rows[0][2], tb.Rows[2][2])
+	}
+}
+
+func TestRescanPeriodAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	tb, err := RescanPeriodAblation(100, 500, []int{2, 8}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := tb.Rows[0], tb.Rows[1]
+	// A slower rescan period must not heal faster, and its steady-state
+	// org rate must be lower.
+	if slow[1] < fast[1] {
+		t.Errorf("slower rescans healed faster: %v vs %v", slow[1], fast[1])
+	}
+	if slow[2] > fast[2] {
+		t.Errorf("slower rescans ran more orgs/sweep: %v vs %v", slow[2], fast[2])
+	}
+}
+
+func TestHeartbeatAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation")
+	}
+	tb, err := HeartbeatAblation(100, 350, []float64{0.5, 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := tb.Rows[0], tb.Rows[1]
+	if fast[1] < 0 || slow[1] < 0 {
+		t.Fatal("masking never happened")
+	}
+	// Failure-detection latency scales with the heartbeat interval.
+	if slow[1] < fast[1] {
+		t.Errorf("slower heartbeat masked faster: %v vs %v", slow[1], fast[1])
+	}
+}

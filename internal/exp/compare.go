@@ -1,0 +1,330 @@
+package exp
+
+import (
+	"fmt"
+
+	"gs3/internal/baseline"
+	"gs3/internal/channel"
+	"gs3/internal/core"
+	"gs3/internal/field"
+	"gs3/internal/geom"
+	"gs3/internal/netsim"
+	"gs3/internal/radio"
+	"gs3/internal/rng"
+	"gs3/internal/stats"
+)
+
+// VsLEACH reproduces the Related-Work comparison against LEACH [10]:
+// (a) cluster-radius control — GS³ keeps every cell within its proved
+// band while LEACH's radii are unbounded; (b) healing cost — GS³ heals
+// a head death with messages confined to the perturbed cell's
+// neighborhood, while LEACH re-clusters globally, costing O(n)
+// messages. Rows are one per region radius (network size).
+func VsLEACH(r float64, regionRadii []float64, seed uint64) (Table, error) {
+	t := Table{
+		ID:    "B1",
+		Title: "GS3 vs LEACH: radius control and healing cost",
+		Columns: []string{
+			"n", "gs3MaxRadius", "leachMaxRadius", "gs3HealTouched", "leachHealTouched",
+		},
+		Notes: []string{
+			"healTouched: nodes whose protocol state changes to recover one head death",
+			"GS3 touches one cell's neighborhood; LEACH re-clusters every node",
+		},
+	}
+	for _, radius := range regionRadii {
+		opt := netsim.DefaultOptions(r, radius)
+		opt.Seed = seed
+		s, err := netsim.Build(opt)
+		if err != nil {
+			return Table{}, err
+		}
+		if _, err := s.Configure(); err != nil {
+			return Table{}, err
+		}
+		gs3Radii := snapshotRadii(s)
+
+		// GS³ healing cost: the number of nodes whose protocol state
+		// changes while one head death heals — the direct locality
+		// measure.
+		touched, err := gs3HealTouched(opt)
+		if err != nil {
+			return Table{}, err
+		}
+
+		// LEACH on the same deployment; its own healing procedure
+		// re-clusters every node.
+		p := leachHeadProbability(s)
+		lc, err := baseline.LEACH(s.Dep, p, 4*radius, rng.New(seed+1))
+		if err != nil {
+			return Table{}, err
+		}
+		heal, err := baseline.LEACHHeal(s.Dep, p, 4*radius, rng.New(seed+2))
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []float64{
+			float64(s.Net.Medium().Count()),
+			stats.Summarize(gs3Radii).Max,
+			lc.MaxRadius(),
+			touched,
+			float64(heal.Messages),
+		})
+	}
+	return t, nil
+}
+
+// snapshotRadii returns the associate-to-head distances of the
+// configured GS³ structure.
+func snapshotRadii(s *netsim.Sim) []float64 {
+	snap := s.Net.Snapshot()
+	pos := map[int]geom.Point{}
+	for _, v := range snap.Nodes {
+		pos[int(v.ID)] = v.Pos
+	}
+	var out []float64
+	for _, v := range snap.Nodes {
+		if v.Status != core.StatusAssociate {
+			continue
+		}
+		if hp, ok := pos[int(v.Head)]; ok {
+			out = append(out, v.Pos.Dist(hp))
+		}
+	}
+	return out
+}
+
+// leachHeadProbability picks p so LEACH elects about as many heads as
+// GS³ configured cells — an apples-to-apples cluster count.
+func leachHeadProbability(s *netsim.Sim) float64 {
+	heads := len(s.Net.Snapshot().Heads())
+	n := s.Net.Medium().Count()
+	p := float64(heads) / float64(n)
+	if p <= 0 {
+		p = 0.01
+	}
+	if p >= 1 {
+		p = 0.5
+	}
+	return p
+}
+
+// gs3HealTouched counts the nodes whose protocol state (role, head, or
+// parent) changes while one head death heals — O(one cell) by the
+// locality property, independent of network size. Steady-state churn
+// is zero (verified by tests), so no twin subtraction is needed.
+func gs3HealTouched(opt netsim.Options) (float64, error) {
+	s, err := netsim.Build(opt)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.Configure(); err != nil {
+		return 0, err
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	s.RunSweeps(2)
+	var victim core.NodeView
+	for _, h := range s.Net.Snapshot().Heads() {
+		if !h.IsBig {
+			victim = h
+			break
+		}
+	}
+	before := s.Net.Snapshot()
+	s.Net.Kill(victim.ID)
+	s.RunSweeps(6)
+	after := s.Net.Snapshot()
+
+	bv := map[radio.NodeID]core.NodeView{}
+	for _, v := range before.Nodes {
+		bv[v.ID] = v
+	}
+	touched := 0
+	for _, v := range after.Nodes {
+		old, ok := bv[v.ID]
+		if !ok {
+			touched++ // newly visible (should not happen here)
+			continue
+		}
+		if old.Status != v.Status || old.Head != v.Head || old.Parent != v.Parent {
+			touched++
+		}
+	}
+	return float64(touched), nil
+}
+
+// VsHopCluster reproduces the Related-Work comparison against
+// geography-unaware hop-bounded clustering [3]: hop bounds do not bound
+// geographic radius tightly, and BFS growth produces large geographic
+// overlap between clusters, both of which GS³ avoids by construction.
+func VsHopCluster(r, regionRadius float64, seed uint64) (Table, error) {
+	opt := netsim.DefaultOptions(r, regionRadius)
+	opt.Seed = seed
+	s, err := netsim.Build(opt)
+	if err != nil {
+		return Table{}, err
+	}
+	if _, err := s.Configure(); err != nil {
+		return Table{}, err
+	}
+	gs3 := stats.Summarize(snapshotRadii(s))
+	gs3Overlap := overlapFractionGS3(s)
+
+	// Hop clustering with a hop bound chosen so clusters could, in the
+	// best case, match GS³'s geographic radius (hops ≈ R / txRange).
+	txRange := opt.Config.SearchRadius() / 3
+	maxHops := int(r/txRange) + 1
+	hc, err := baseline.HopCluster(s.Dep, maxHops, txRange)
+	if err != nil {
+		return Table{}, err
+	}
+	hcStats := stats.Summarize(hc.Radii())
+
+	t := Table{
+		ID:      "B2",
+		Title:   "GS3 vs hop-bounded clustering: geographic radius and overlap",
+		Columns: []string{"scheme", "meanRadius", "p90Radius", "maxRadius", "overlapFrac"},
+		Notes: []string{
+			"scheme 0 = GS3, 1 = hop-bounded BFS",
+			fmt.Sprintf("hop bound %d at txRange %.3g targets the same nominal radius R=%.3g", maxHops, txRange, r),
+		},
+	}
+	t.Rows = append(t.Rows, []float64{0, gs3.Mean, gs3.P90, gs3.Max, gs3Overlap})
+	t.Rows = append(t.Rows, []float64{1, hcStats.Mean, hcStats.P90, hcStats.Max, hc.OverlapFraction()})
+	return t, nil
+}
+
+// overlapFractionGS3 computes the same overlap metric for the GS³
+// structure: fraction of associates strictly closer to a different
+// head (zero at the fixpoint by F₃).
+func overlapFractionGS3(s *netsim.Sim) float64 {
+	snap := s.Net.Snapshot()
+	heads := snap.Heads()
+	total, misplaced := 0, 0
+	for _, v := range snap.Nodes {
+		if v.Status != core.StatusAssociate {
+			continue
+		}
+		total++
+		hv, ok := snap.View(v.Head)
+		if !ok {
+			continue
+		}
+		own := v.Pos.Dist(hv.Pos)
+		for _, h := range heads {
+			if h.ID != v.Head && v.Pos.Dist(h.Pos) < own-1e-9 {
+				misplaced++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(misplaced) / float64(total)
+}
+
+// GapResilience exercises the R_t-gap handling of GS³-D end to end: a
+// deployment with a deliberate gap configures around it, and after the
+// gap is filled by joining nodes, the boundary rescan grows cells into
+// it (the paper's §4.2 overview). The table reports coverage before
+// and after.
+func GapResilience(r, regionRadius, gapRadius float64, seed uint64) (Table, error) {
+	opt := netsim.DefaultOptions(r, regionRadius)
+	opt.Seed = seed
+	gapCenter := geom.Point{X: regionRadius / 2, Y: 0}
+	opt.Gaps = []field.Gap{{Center: gapCenter, Radius: gapRadius}}
+	s, err := netsim.Build(opt)
+	if err != nil {
+		return Table{}, err
+	}
+	if _, err := s.Configure(); err != nil {
+		return Table{}, err
+	}
+	headsBefore := len(s.Net.Snapshot().Heads())
+
+	s.Net.StartMaintenance(core.VariantD)
+	ids := s.RepopulateDisk(gapCenter, gapRadius, opt.GridSpacing)
+	if _, err := s.RunUntilStable(40 * opt.Config.BoundaryRescanEvery); err != nil {
+		return Table{}, err
+	}
+	covered := 0
+	for _, id := range ids {
+		st := s.Net.Node(id).Status
+		if st == core.StatusAssociate || st.IsHeadRole() {
+			covered++
+		}
+	}
+	t := Table{
+		ID:      "F7b",
+		Title:   "Rt-gap handling: configuration around a gap, absorption after fill",
+		Columns: []string{"headsBefore", "headsAfter", "joined", "covered"},
+	}
+	t.Rows = append(t.Rows, []float64{
+		float64(headsBefore),
+		float64(len(s.Net.Snapshot().Heads())),
+		float64(len(ids)),
+		float64(covered),
+	})
+	return t, nil
+}
+
+// FrequencyReuse reproduces the introduction's frequency-reuse claim as
+// experiment C1: GS³'s exact hexagonal cells admit the optimal cellular
+// reuse-3 channel assignment, while equally sized LEACH and hop-bounded
+// clusterings need more channels under the same interference range
+// (greedy coloring, the best unstructured clusterings can do locally).
+func FrequencyReuse(r, regionRadius float64, seed uint64) (Table, error) {
+	opt := netsim.DefaultOptions(r, regionRadius)
+	opt.Seed = seed
+	s, err := netsim.Build(opt)
+	if err != nil {
+		return Table{}, err
+	}
+	if _, err := s.Configure(); err != nil {
+		return Table{}, err
+	}
+	snap := s.Net.Snapshot()
+	interference := opt.Config.NeighborDistMax()
+
+	gs3Assign, err := channel.Reuse3(snap)
+	if err != nil {
+		return Table{}, err
+	}
+	gs3Conflicts := channel.Conflicts(snap, gs3Assign, interference)
+
+	p := leachHeadProbability(s)
+	lc, err := baseline.LEACH(s.Dep, p, 4*regionRadius, rng.New(seed+1))
+	if err != nil {
+		return Table{}, err
+	}
+	var leachHeads []geom.Point
+	for _, h := range lc.Heads {
+		leachHeads = append(leachHeads, lc.Positions[h])
+	}
+	leachAssign := channel.Greedy(leachHeads, interference)
+
+	hc, err := baseline.HopCluster(s.Dep, 2, opt.Config.SearchRadius()/3)
+	if err != nil {
+		return Table{}, err
+	}
+	var hopHeads []geom.Point
+	for _, h := range hc.Heads {
+		hopHeads = append(hopHeads, hc.Positions[h])
+	}
+	hopAssign := channel.Greedy(hopHeads, interference)
+
+	t := Table{
+		ID:      "C1",
+		Title:   "Frequency reuse: channels needed per clustering scheme",
+		Columns: []string{"scheme", "clusters", "channels", "conflicts"},
+		Notes: []string{
+			"scheme 0 = GS3 reuse-3 lattice pattern, 1 = LEACH greedy, 2 = hop-BFS greedy",
+			fmt.Sprintf("interference range = neighbor distance bound %.3g", interference),
+		},
+	}
+	t.Rows = append(t.Rows, []float64{0, float64(len(snap.Heads())), float64(gs3Assign.Count), float64(len(gs3Conflicts))})
+	t.Rows = append(t.Rows, []float64{1, float64(len(lc.Heads)), float64(leachAssign.Count), 0})
+	t.Rows = append(t.Rows, []float64{2, float64(len(hc.Heads)), float64(hopAssign.Count), 0})
+	return t, nil
+}

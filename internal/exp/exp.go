@@ -1,0 +1,51 @@
+// Package exp regenerates every figure and table of the paper's
+// evaluation on top of the simulator: Figures 7 and 8, the Appendix 1
+// complexity/convergence table (one experiment per row), the Theorem 11
+// containment bound, the structure-slide stability claim, and the
+// Related-Work comparisons against LEACH and hop-bounded clustering.
+//
+// Each experiment returns a Table whose rows mirror what the paper
+// reports, so `cmd/gs3bench` and the benchmarks print directly
+// comparable series. EXPERIMENTS.md records paper-vs-measured for each.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID      string // experiment id from DESIGN.md (e.g. "F7", "T3")
+	Title   string
+	Columns []string
+	Rows    [][]float64
+	Notes   []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# [%s] %s\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%.6g", v)
+		}
+		fmt.Fprintf(&b, "%s\n", strings.Join(cells, "\t"))
+	}
+	return b.String()
+}
+
+// Column returns column i of the table as a slice.
+func (t Table) Column(i int) []float64 {
+	out := make([]float64, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row[i]
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"math"
+	"sort"
+
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/netsim"
+	"gs3/internal/radio"
+	"gs3/internal/stats"
+)
+
+// BigMoveLocality reproduces Theorem 11: when the big node moves
+// distance d, the impact on the head graph is contained in a circle of
+// radius √3·d/2 around the segment midpoint. For each d (in multiples
+// of the head spacing) it reports the theoretical bound and the
+// measured containment radii (p90 and max over affected heads).
+func BigMoveLocality(r, regionRadius float64, moveCells []float64, seed uint64) (Table, error) {
+	t := Table{
+		ID:      "M1",
+		Title:   "Big-node move impact containment (Theorem 11)",
+		Columns: []string{"d", "bound", "p50Radius", "p90Radius", "maxRadius", "changed"},
+		Notes: []string{
+			"bound = sqrt(3)*d/2 from the AB midpoint; measured radii include",
+			"the discrete slack of heads sitting up to Rt off their ILs;",
+			"a small tail of equal-hop parent flips along lattice-sector",
+			"boundaries escapes the idealized bound (see EXPERIMENTS.md)",
+		},
+	}
+	for _, cells := range moveCells {
+		opt := netsim.DefaultOptions(r, regionRadius)
+		opt.Seed = seed
+		s, err := netsim.Build(opt)
+		if err != nil {
+			return Table{}, err
+		}
+		if _, err := s.Configure(); err != nil {
+			return Table{}, err
+		}
+		s.Net.StartMaintenance(core.VariantM)
+		s.RunSweeps(6)
+
+		before := map[radio.NodeID]radio.NodeID{}
+		for _, h := range s.Net.Snapshot().Heads() {
+			before[h.ID] = h.Parent
+		}
+		a := s.Net.Position(s.Net.BigID())
+		d := cells * opt.Config.HeadSpacing()
+		b := a.Add(geom.Vec{X: d, Y: 0})
+		s.Net.Move(s.Net.BigID(), b)
+		s.RunSweeps(14)
+
+		mid := a.Midpoint(b)
+		var radii []float64
+		for _, h := range s.Net.Snapshot().Heads() {
+			old, ok := before[h.ID]
+			if !ok || h.IsBig || h.Parent == old {
+				continue
+			}
+			radii = append(radii, h.Pos.Dist(mid))
+		}
+		sort.Float64s(radii)
+		sum := stats.Summarize(radii)
+		t.Rows = append(t.Rows, []float64{
+			d, math.Sqrt(3) * d / 2, sum.P50, sum.P90, sum.Max, float64(len(radii)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,156 @@
+// Package field generates node deployments for GS³ experiments.
+//
+// The paper's node-distribution model (§2.1, §4.3.4) is a planar Poisson
+// process: nodes are uniformly distributed with density λ, defined as
+// the average number of nodes within any circular area of radius 1
+// (note: the paper folds the π factor into λ, and so does this package —
+// the count in a disk of radius r is Poisson with mean λ·r²).
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"gs3/internal/geom"
+	"gs3/internal/rng"
+)
+
+// Deployment is a set of node positions plus the designated big-node
+// position. Index 0 of Positions is always the big node.
+type Deployment struct {
+	Positions []geom.Point
+	// Region radius used to generate the deployment (0 for rectangles).
+	Radius float64
+}
+
+// Big returns the big node's position.
+func (d Deployment) Big() geom.Point {
+	return d.Positions[0]
+}
+
+// N returns the number of nodes, including the big node.
+func (d Deployment) N() int {
+	return len(d.Positions)
+}
+
+// Config describes a deployment to generate.
+type Config struct {
+	// Radius of the circular deployment region, centered on the big node.
+	Radius float64
+	// Lambda is the density: average node count in a unit-radius disk
+	// (paper convention: count in radius-r disk ~ Poisson(λ·r²)).
+	Lambda float64
+	// Gaps lists circular areas to clear of nodes after generation,
+	// modeling R_t-gaps and other coverage holes.
+	Gaps []Gap
+	// MinNodes, if > 0, re-rejects deployments smaller than this by
+	// topping up with uniform nodes. Useful to keep tests meaningful at
+	// low densities.
+	MinNodes int
+}
+
+// Gap is a circular hole in the deployment.
+type Gap struct {
+	Center geom.Point
+	Radius float64
+}
+
+// Poisson generates a Poisson deployment in a disk of cfg.Radius around
+// the origin, with the big node at the exact center. It returns an error
+// for non-positive radius or density.
+func Poisson(cfg Config, src *rng.Source) (Deployment, error) {
+	if cfg.Radius <= 0 {
+		return Deployment{}, fmt.Errorf("field: non-positive radius %v", cfg.Radius)
+	}
+	if cfg.Lambda <= 0 {
+		return Deployment{}, fmt.Errorf("field: non-positive density %v", cfg.Lambda)
+	}
+	// Mean count in a radius-r disk is λ·r² under the paper's convention.
+	mean := cfg.Lambda * cfg.Radius * cfg.Radius
+	n := src.Poisson(mean)
+	if n < cfg.MinNodes {
+		n = cfg.MinNodes
+	}
+	pts := make([]geom.Point, 0, n+1)
+	pts = append(pts, geom.Point{}) // big node at the center
+	for i := 0; i < n; i++ {
+		x, y := src.InDisk(cfg.Radius)
+		p := geom.Point{X: x, Y: y}
+		if inGap(p, cfg.Gaps) {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	return Deployment{Positions: pts, Radius: cfg.Radius}, nil
+}
+
+func inGap(p geom.Point, gaps []Gap) bool {
+	for _, g := range gaps {
+		if p.Dist(g.Center) < g.Radius {
+			return true
+		}
+	}
+	return false
+}
+
+// Grid generates a deterministic deployment with nodes on a triangular
+// grid of the given spacing covering a disk of the given radius, plus
+// the big node at the center. Jitter (a fraction of spacing, 0 to
+// disable) perturbs each node deterministically from src. Triangular
+// grids are the densest regular packing and give every R_t-disk a node
+// when spacing ≤ R_t, which makes them ideal for exact-structure tests.
+func Grid(radius, spacing, jitter float64, src *rng.Source) (Deployment, error) {
+	if radius <= 0 || spacing <= 0 {
+		return Deployment{}, fmt.Errorf("field: invalid grid radius=%v spacing=%v", radius, spacing)
+	}
+	pts := []geom.Point{{}}
+	rowH := spacing * math.Sqrt(3) / 2
+	maxRow := int(radius/rowH) + 1
+	maxCol := int(radius/spacing) + 1
+	for row := -maxRow; row <= maxRow; row++ {
+		offset := 0.0
+		if row%2 != 0 {
+			offset = spacing / 2
+		}
+		for col := -maxCol; col <= maxCol; col++ {
+			p := geom.Point{X: float64(col)*spacing + offset, Y: float64(row) * rowH}
+			if p.X == 0 && p.Y == 0 {
+				continue // big node already occupies the center
+			}
+			if jitter > 0 && src != nil {
+				p.X += src.Range(-jitter, jitter) * spacing
+				p.Y += src.Range(-jitter, jitter) * spacing
+			}
+			if p.Dist(geom.Point{}) <= radius {
+				pts = append(pts, p)
+			}
+		}
+	}
+	return Deployment{Positions: pts, Radius: radius}, nil
+}
+
+// WithGaps returns a copy of d with nodes inside any gap removed. The
+// big node (index 0) is never removed.
+func WithGaps(d Deployment, gaps []Gap) Deployment {
+	out := Deployment{Positions: make([]geom.Point, 0, len(d.Positions)), Radius: d.Radius}
+	out.Positions = append(out.Positions, d.Positions[0])
+	for _, p := range d.Positions[1:] {
+		if !inGap(p, gaps) {
+			out.Positions = append(out.Positions, p)
+		}
+	}
+	return out
+}
+
+// HasRtGap reports whether some disk of radius rt centered at one of the
+// probe points contains no node. It is the empirical R_t-gap detector
+// used by the Figure 7/8 experiments: probes are typically the ideal
+// cell centers.
+func HasRtGap(d Deployment, probe geom.Point, rt float64) bool {
+	for _, p := range d.Positions {
+		if p.Dist(probe) <= rt {
+			return false
+		}
+	}
+	return true
+}

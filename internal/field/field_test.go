@@ -1,0 +1,162 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"gs3/internal/geom"
+	"gs3/internal/rng"
+)
+
+func TestPoissonCountMatchesDensity(t *testing.T) {
+	src := rng.New(1)
+	const radius, lambda = 50.0, 0.01
+	mean := lambda * radius * radius // 25
+	var total int
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		d, err := Poisson(Config{Radius: radius, Lambda: lambda}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d.N() - 1 // exclude big node
+	}
+	avg := float64(total) / trials
+	if math.Abs(avg-mean) > 1.5 {
+		t.Errorf("average count = %v, want ≈%v", avg, mean)
+	}
+}
+
+func TestPoissonBigNodeAtCenter(t *testing.T) {
+	d, err := Poisson(Config{Radius: 10, Lambda: 1}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Big() != (geom.Point{}) {
+		t.Errorf("big node at %v", d.Big())
+	}
+}
+
+func TestPoissonAllInsideRegion(t *testing.T) {
+	d, err := Poisson(Config{Radius: 20, Lambda: 0.5}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Positions {
+		if p.Dist(geom.Point{}) > 20 {
+			t.Errorf("node outside region: %v", p)
+		}
+	}
+}
+
+func TestPoissonErrors(t *testing.T) {
+	if _, err := Poisson(Config{Radius: 0, Lambda: 1}, rng.New(1)); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := Poisson(Config{Radius: 1, Lambda: 0}, rng.New(1)); err == nil {
+		t.Error("zero density accepted")
+	}
+}
+
+func TestPoissonMinNodes(t *testing.T) {
+	d, err := Poisson(Config{Radius: 1, Lambda: 0.001, MinNodes: 50}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() < 51 {
+		t.Errorf("N = %d, want ≥ 51", d.N())
+	}
+}
+
+func TestPoissonGapsRespected(t *testing.T) {
+	gap := Gap{Center: geom.Point{X: 5, Y: 5}, Radius: 3}
+	d, err := Poisson(Config{Radius: 20, Lambda: 2, Gaps: []Gap{gap}}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Positions[1:] {
+		if p.Dist(gap.Center) < gap.Radius {
+			t.Errorf("node %v inside gap", p)
+		}
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, _ := Poisson(Config{Radius: 10, Lambda: 1}, rng.New(42))
+	b, _ := Poisson(Config{Radius: 10, Lambda: 1}, rng.New(42))
+	if a.N() != b.N() {
+		t.Fatalf("counts differ: %d vs %d", a.N(), b.N())
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func TestGridDense(t *testing.T) {
+	d, err := Grid(30, 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() < 500 {
+		t.Errorf("grid too sparse: %d nodes", d.N())
+	}
+	// Every disk of radius 2 centered inside the region (margin for the
+	// boundary) must contain a node.
+	for _, probe := range []geom.Point{{X: 10, Y: 10}, {X: -15, Y: 3}, {X: 0, Y: -20}} {
+		if HasRtGap(d, probe, 2) {
+			t.Errorf("unexpected gap at %v", probe)
+		}
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid(0, 1, 0, nil); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := Grid(1, 0, 0, nil); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}
+
+func TestGridJitterDeterministic(t *testing.T) {
+	a, _ := Grid(10, 2, 0.2, rng.New(7))
+	b, _ := Grid(10, 2, 0.2, rng.New(7))
+	if a.N() != b.N() {
+		t.Fatal("jittered grids differ in size")
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatal("jittered grids differ")
+		}
+	}
+}
+
+func TestWithGaps(t *testing.T) {
+	d, _ := Grid(10, 1, 0, nil)
+	gap := Gap{Center: geom.Point{X: 0, Y: 0}, Radius: 3}
+	g := WithGaps(d, []Gap{gap})
+	// Big node survives even inside the gap.
+	if g.Big() != (geom.Point{}) {
+		t.Error("big node removed by gap")
+	}
+	for _, p := range g.Positions[1:] {
+		if p.Dist(gap.Center) < gap.Radius {
+			t.Errorf("node %v inside gap", p)
+		}
+	}
+	if g.N() >= d.N() {
+		t.Error("gap removed nothing")
+	}
+}
+
+func TestHasRtGap(t *testing.T) {
+	d := Deployment{Positions: []geom.Point{{}, {X: 10, Y: 0}}}
+	if HasRtGap(d, geom.Point{X: 10, Y: 0}, 1) {
+		t.Error("gap reported at an occupied probe")
+	}
+	if !HasRtGap(d, geom.Point{X: 5, Y: 5}, 1) {
+		t.Error("no gap reported at an empty probe")
+	}
+}

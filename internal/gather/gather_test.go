@@ -1,0 +1,173 @@
+package gather
+
+import (
+	"math"
+	"testing"
+
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/netsim"
+	"gs3/internal/radio"
+)
+
+func configuredSnap(t *testing.T) (core.Snapshot, *netsim.Sim) {
+	t.Helper()
+	s, err := netsim.Build(netsim.DefaultOptions(100, 350))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Net.Snapshot(), s
+}
+
+func TestSampleMerge(t *testing.T) {
+	a := NewSample(3)
+	b := NewSample(7)
+	m := a.Merge(b)
+	if m.Count != 2 || m.Sum != 10 || m.Min != 3 || m.Max != 7 {
+		t.Errorf("merge = %+v", m)
+	}
+	if m.Mean() != 5 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	var zero Sample
+	if got := zero.Merge(a); got != a {
+		t.Errorf("zero merge = %+v", got)
+	}
+	if got := a.Merge(zero); got != a {
+		t.Errorf("merge zero = %+v", got)
+	}
+	if zero.Mean() != 0 {
+		t.Error("zero mean != 0")
+	}
+}
+
+func TestSampleMergeCommutative(t *testing.T) {
+	a := Sample{Sum: 10, Count: 3, Min: 1, Max: 6}
+	b := Sample{Sum: -4, Count: 2, Min: -5, Max: 1}
+	if a.Merge(b) != b.Merge(a) {
+		t.Error("merge not commutative")
+	}
+}
+
+func TestCollectAllReadings(t *testing.T) {
+	snap, _ := configuredSnap(t)
+	readings := map[radio.NodeID]float64{}
+	var sum float64
+	for _, v := range snap.Nodes {
+		readings[v.ID] = float64(v.ID % 10)
+		sum += float64(v.ID % 10)
+	}
+	res, err := Collect(snap, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unreported) != 0 {
+		t.Fatalf("%d unreported in a fully configured network", len(res.Unreported))
+	}
+	if res.Root.Count != len(snap.Nodes) {
+		t.Errorf("root count = %d, want %d", res.Root.Count, len(snap.Nodes))
+	}
+	if math.Abs(res.Root.Sum-sum) > 1e-9 {
+		t.Errorf("root sum = %v, want %v", res.Root.Sum, sum)
+	}
+}
+
+func TestCollectMessageCounts(t *testing.T) {
+	snap, _ := configuredSnap(t)
+	readings := map[radio.NodeID]float64{}
+	for _, v := range snap.Nodes {
+		readings[v.ID] = 1
+	}
+	res, err := Collect(snap, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := len(snap.Heads())
+	associates := len(snap.Nodes) - heads
+	if res.IntraMessages != associates {
+		t.Errorf("intra = %d, associates = %d", res.IntraMessages, associates)
+	}
+	// Every head except the root forwards exactly once.
+	if res.InterMessages != heads-1 {
+		t.Errorf("inter = %d, heads = %d", res.InterMessages, heads)
+	}
+	if res.MaxDepth < 1 {
+		t.Errorf("max depth = %d", res.MaxDepth)
+	}
+}
+
+func TestCollectPartialReadings(t *testing.T) {
+	snap, _ := configuredSnap(t)
+	// Only the big node's cell reports.
+	readings := map[radio.NodeID]float64{}
+	for _, m := range snap.Members(snap.BigID) {
+		readings[m] = 2
+	}
+	res, err := Collect(snap, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root.Count != len(readings) {
+		t.Errorf("count = %d, want %d", res.Root.Count, len(readings))
+	}
+	if res.InterMessages != 0 {
+		t.Errorf("inter messages = %d for intra-cell-only data", res.InterMessages)
+	}
+}
+
+func TestCollectNoBigNode(t *testing.T) {
+	snap, _ := configuredSnap(t)
+	snap.BigID = 99999
+	if _, err := Collect(snap, nil); err == nil {
+		t.Error("missing big node accepted")
+	}
+}
+
+func TestCollectWithProxyRoot(t *testing.T) {
+	// When the big node is between cells (GS³-M), the proxy drains the
+	// tree.
+	snap, s := configuredSnap(t)
+	_ = snap
+	s.Net.StartMaintenance(core.VariantM)
+	cfg := s.Opt.Config
+	big := s.Net.BigID()
+	pos := s.Net.Position(big)
+	s.Net.Move(big, pos.Add(geom.Vec{X: cfg.HeadSpacing() / 2, Y: cfg.R / 3}))
+	s.RunSweeps(4)
+
+	snap2 := s.Net.Snapshot()
+	bigView, _ := snap2.View(big)
+	if bigView.IsHead() {
+		t.Skip("big node reclaimed a cell; proxy path not exercised")
+	}
+	readings := map[radio.NodeID]float64{}
+	for _, v := range snap2.Nodes {
+		readings[v.ID] = 1
+	}
+	res, err := Collect(snap2, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything except possibly the moving big node itself reports.
+	if res.Root.Count < len(snap2.Nodes)-1 {
+		t.Errorf("root count = %d of %d", res.Root.Count, len(snap2.Nodes))
+	}
+}
+
+func TestCollectUnreportedStragglers(t *testing.T) {
+	snap, s := configuredSnap(t)
+	_ = snap
+	id := s.Net.Join(geom.Point{X: 350 + 3*s.Opt.Config.SearchRadius()})
+	snap2 := s.Net.Snapshot()
+	readings := map[radio.NodeID]float64{id: 5}
+	res, err := Collect(snap2, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unreported) != 1 || res.Unreported[0] != id {
+		t.Errorf("unreported = %v", res.Unreported)
+	}
+}

@@ -1,0 +1,333 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gs3/internal/core"
+	"gs3/internal/field"
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+)
+
+// The dynamic phase runs intra-cell maintenance at message granularity:
+// synchronous heartbeat rounds (BSP style — all sends, barrier, all
+// receives) over the same goroutine-per-node channel fabric as the
+// configuration phase. Heads broadcast head_intra_alive; candidates
+// that miss two heartbeats broadcast election claims; the best claim
+// (the paper's ⟨d,|A|,A⟩ rank) wins the cell and heartbeats from the
+// next round on; members re-attach when they hear the new head.
+//
+// The round structure mirrors a TDMA-slotted radio: everything a node
+// sends in round r depends only on what it heard up to round r−1, so
+// the outcome is schedule-independent even though delivery order is
+// not.
+
+// dynKind discriminates dynamic-phase messages.
+type dynKind int
+
+const (
+	dynHeartbeat dynKind = iota + 1
+	dynClaim
+)
+
+// dynMsg is a dynamic-phase message.
+type dynMsg struct {
+	Kind dynKind
+	From radio.NodeID
+	Pos  geom.Point
+	IL   geom.Point // the cell the sender heads / claims
+}
+
+// dynNode is one node's dynamic-phase state.
+type dynNode struct {
+	id    radio.NodeID
+	pos   geom.Point
+	isBig bool
+	dead  bool
+
+	head      bool
+	il        geom.Point // cell IL when head
+	myHead    radio.NodeID
+	candidate bool
+	cellIL    geom.Point // candidates replicate their cell's IL
+
+	lastHeard int // round the current head was last heard
+	claiming  bool
+
+	inbox chan dynMsg
+	got   []dynMsg
+}
+
+// KillSchedule maps round numbers to the node IDs killed at the start
+// of that round.
+type KillSchedule map[int][]radio.NodeID
+
+// DynamicResult is the outcome of RunDynamic.
+type DynamicResult struct {
+	Configured Result
+	Final      []Report // state after the dynamic rounds, ascending ID
+	Elections  int      // successful message-level head elections
+}
+
+// RunDynamic runs the GS³-S configuration (message level, goroutine per
+// node) and then `rounds` synchronous heartbeat rounds of intra-cell
+// maintenance, applying the scheduled kills. The heartbeat timeout is
+// two rounds, matching the paper's failure-detection latency of one to
+// two heartbeat periods.
+func RunDynamic(cfg core.Config, dep field.Deployment, kills KillSchedule, rounds int) (DynamicResult, error) {
+	configured, err := Run(cfg, dep)
+	if err != nil {
+		return DynamicResult{}, err
+	}
+	if rounds <= 0 {
+		return DynamicResult{}, fmt.Errorf("live: rounds must be positive, got %d", rounds)
+	}
+
+	// Build the dynamic nodes from the configured structure.
+	ilOf := map[radio.NodeID]geom.Point{}
+	for _, rep := range configured.Reports {
+		if rep.IsHead {
+			ilOf[rep.ID] = rep.IL
+		}
+	}
+	nodes := make([]*dynNode, len(configured.Reports))
+	byID := map[radio.NodeID]*dynNode{}
+	for i, rep := range configured.Reports {
+		n := &dynNode{
+			id: rep.ID, pos: rep.Pos, isBig: rep.ID == 0,
+			head: rep.IsHead, il: rep.IL,
+			myHead: rep.Head, candidate: rep.Candidate,
+			inbox: make(chan dynMsg, len(configured.Reports)+64),
+		}
+		if rep.Candidate {
+			n.cellIL = ilOf[rep.Head]
+		}
+		nodes[i] = n
+		byID[rep.ID] = n
+	}
+
+	var mu sync.Mutex // guards positions map during concurrent sends
+	alivePos := map[radio.NodeID]geom.Point{}
+	for _, n := range nodes {
+		alivePos[n.id] = n.pos
+	}
+	deliver := func(from geom.Point, radius float64, m dynMsg) {
+		mu.Lock()
+		defer mu.Unlock()
+		for id, p := range alivePos {
+			if id == m.From {
+				continue
+			}
+			if p.Dist(from) <= radius {
+				byID[id].inbox <- m
+			}
+		}
+	}
+
+	heartbeatRadius := cfg.CellRadiusBound() + 2*cfg.Rt
+	elections := 0
+
+	for round := 1; round <= rounds; round++ {
+		// Apply scheduled kills.
+		for _, id := range kills[round] {
+			if n := byID[id]; n != nil && !n.dead {
+				n.dead = true
+				mu.Lock()
+				delete(alivePos, id)
+				mu.Unlock()
+			}
+		}
+
+		// Send phase: every alive node sends concurrently.
+		var wg sync.WaitGroup
+		for _, n := range nodes {
+			if n.dead {
+				continue
+			}
+			n := n
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n.sendPhase(round, heartbeatRadius, deliver)
+			}()
+		}
+		wg.Wait()
+
+		// Receive phase: every alive node drains and decides.
+		for _, n := range nodes {
+			if n.dead {
+				continue
+			}
+			n.drain()
+		}
+		for _, n := range nodes {
+			if n.dead {
+				continue
+			}
+			if n.recvPhase(cfg, round) {
+				elections++
+			}
+		}
+	}
+
+	res := DynamicResult{Configured: configured, Elections: elections}
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		res.Final = append(res.Final, Report{
+			ID: n.id, Pos: n.pos, IsHead: n.head, IL: n.il,
+			Head: n.myHead, Candidate: n.candidate,
+		})
+	}
+	sort.Slice(res.Final, func(i, j int) bool { return res.Final[i].ID < res.Final[j].ID })
+	return res, nil
+}
+
+// sendPhase emits what this node's round-(r−1) knowledge dictates.
+func (n *dynNode) sendPhase(round int, radius float64, deliver func(geom.Point, float64, dynMsg)) {
+	switch {
+	case n.head:
+		deliver(n.pos, radius, dynMsg{Kind: dynHeartbeat, From: n.id, Pos: n.pos, IL: n.il})
+	case n.claiming:
+		deliver(n.pos, radius, dynMsg{Kind: dynClaim, From: n.id, Pos: n.pos, IL: n.cellIL})
+	}
+}
+
+// drain empties the inbox into the round buffer, sorted by sender for
+// schedule independence.
+func (n *dynNode) drain() {
+	n.got = n.got[:0]
+	for {
+		select {
+		case m := <-n.inbox:
+			n.got = append(n.got, m)
+		default:
+			sort.Slice(n.got, func(i, j int) bool { return n.got[i].From < n.got[j].From })
+			return
+		}
+	}
+}
+
+// recvPhase applies the round's messages. It returns true when this
+// node won an election this round.
+func (n *dynNode) recvPhase(cfg core.Config, round int) bool {
+	if n.head {
+		n.lastHeard = round
+		return false
+	}
+
+	// Scan the round's heartbeats.
+	var ownHB *dynMsg
+	bestHead := radio.None
+	bestD := cfg.SearchRadius()
+	for i := range n.got {
+		m := &n.got[i]
+		if m.Kind != dynHeartbeat {
+			continue
+		}
+		if m.From == n.myHead {
+			ownHB = m
+		}
+		if d := n.pos.Dist(m.Pos); d < bestD {
+			bestHead, bestD = m.From, d
+		}
+	}
+
+	if ownHB != nil {
+		// The cell is healthy. Switch only to a strictly closer head
+		// (ASSOCIATE_ORG_RESP's "better head" rule), and refresh
+		// candidacy against the current IL.
+		n.lastHeard = round
+		n.claiming = false
+		if bestHead != radio.None && bestHead != n.myHead &&
+			bestD < n.pos.Dist(ownHB.Pos)-1e-9 {
+			n.attachTo(cfg, bestHead)
+			return false
+		}
+		n.candidate = n.pos.Dist(ownHB.IL) <= cfg.Rt
+		if n.candidate {
+			n.cellIL = ownHB.IL
+		}
+		return false
+	}
+
+	// Our head was silent this round.
+	if n.candidate || n.claiming {
+		// Election resolution: if claims for our cell were heard
+		// (possibly including our own), the best-ranked claimant wins.
+		if winner, ok := bestClaim(cfg, n); ok {
+			n.claiming = false
+			if winner == n.id {
+				n.head = true
+				n.il = n.cellIL
+				n.myHead = radio.None
+				n.candidate = false
+				return true
+			}
+			// Someone better claims the cell; their heartbeat next
+			// round completes our re-attachment.
+			n.myHead = winner
+			n.lastHeard = round
+			return false
+		}
+		// Failure detection: start claiming after two missed rounds.
+		if !n.claiming && round-n.lastHeard >= 2 {
+			n.claiming = true
+		}
+		return false
+	}
+
+	// Non-candidate member: after the timeout, re-join the closest
+	// heartbeating head (the paper's bootup → re-choose path).
+	if round-n.lastHeard >= 2 && bestHead != radio.None {
+		n.attachTo(cfg, bestHead)
+		n.lastHeard = round
+	}
+	return false
+}
+
+// attachTo joins head id based on its heartbeat heard this round.
+func (n *dynNode) attachTo(cfg core.Config, id radio.NodeID) {
+	n.myHead = id
+	n.claiming = false
+	n.candidate = false
+	for _, m := range n.got {
+		if m.Kind == dynHeartbeat && m.From == id {
+			n.candidate = n.pos.Dist(m.IL) <= cfg.Rt
+			if n.candidate {
+				n.cellIL = m.IL
+			}
+		}
+	}
+}
+
+// bestClaim ranks all claims for n's cell (including n's own pending
+// claim) by the HEAD_SELECT order and returns the winner.
+func bestClaim(cfg core.Config, n *dynNode) (radio.NodeID, bool) {
+	type claimant struct {
+		id  radio.NodeID
+		pos geom.Point
+	}
+	var claims []claimant
+	for _, m := range n.got {
+		if m.Kind == dynClaim && m.IL.Dist(n.cellIL) <= cfg.Rt/2 {
+			claims = append(claims, claimant{m.From, m.Pos})
+		}
+	}
+	if n.claiming {
+		claims = append(claims, claimant{n.id, n.pos})
+	}
+	if len(claims) == 0 {
+		return radio.None, false
+	}
+	ids := make([]radio.NodeID, len(claims))
+	pos := make(map[radio.NodeID]geom.Point, len(claims))
+	for i, c := range claims {
+		ids[i] = c.id
+		pos[c.id] = c.pos
+	}
+	return core.BestCandidate(n.cellIL, cfg.GR, ids, func(id radio.NodeID) geom.Point { return pos[id] })
+}

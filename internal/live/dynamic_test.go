@@ -1,0 +1,174 @@
+package live
+
+import (
+	"testing"
+
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+)
+
+func TestRunDynamicNoPerturbation(t *testing.T) {
+	cfg, dep := liveDeployment(t, 300)
+	res, err := RunDynamic(cfg, dep, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet rounds change nothing: same heads, no elections.
+	if res.Elections != 0 {
+		t.Errorf("elections in a quiet run: %d", res.Elections)
+	}
+	confHeads := map[radio.NodeID]bool{}
+	for _, id := range res.Configured.Heads() {
+		confHeads[id] = true
+	}
+	finalHeads := 0
+	for _, rep := range res.Final {
+		if rep.IsHead {
+			finalHeads++
+			if !confHeads[rep.ID] {
+				t.Errorf("new head %d appeared without perturbation", rep.ID)
+			}
+		}
+	}
+	if finalHeads != len(confHeads) {
+		t.Errorf("head count changed: %d -> %d", len(confHeads), finalHeads)
+	}
+}
+
+func TestRunDynamicRoundsValidation(t *testing.T) {
+	cfg, dep := liveDeployment(t, 300)
+	if _, err := RunDynamic(cfg, dep, nil, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestRunDynamicHeadDeathElection(t *testing.T) {
+	cfg, dep := liveDeployment(t, 300)
+	// Find a head with candidates from a plain configuration first.
+	conf, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim radio.NodeID = radio.None
+	candidates := map[radio.NodeID]int{}
+	for _, rep := range conf.Reports {
+		if rep.Candidate {
+			candidates[rep.Head]++
+		}
+	}
+	for _, id := range conf.Heads() {
+		if id != 0 && candidates[id] > 0 {
+			victim = id
+			break
+		}
+	}
+	if victim == radio.None {
+		t.Fatal("no head with candidates")
+	}
+
+	res, err := RunDynamic(cfg, dep, KillSchedule{2: {victim}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elections == 0 {
+		t.Fatal("no election happened after the head death")
+	}
+	// A new head serves the victim's cell IL. ILs are compared by
+	// proximity: the same lattice point can carry different low-order
+	// float bits depending on which head's HEAD_ORG computed it.
+	var victimIL geom.Point
+	for _, rep := range conf.Reports {
+		if rep.ID == victim {
+			victimIL = rep.IL
+		}
+	}
+	served := false
+	for _, rep := range res.Final {
+		if rep.IsHead && rep.ID != victim && rep.IL.Dist(victimIL) < cfg.Rt/10 {
+			served = true
+		}
+	}
+	if !served {
+		t.Error("no replacement head serves the dead head's cell")
+	}
+	// Nobody is still attached to the dead head.
+	for _, rep := range res.Final {
+		if !rep.IsHead && rep.Head == victim {
+			t.Errorf("node %d still attached to dead head", rep.ID)
+		}
+	}
+}
+
+func TestRunDynamicMultipleSimultaneousDeaths(t *testing.T) {
+	cfg, dep := liveDeployment(t, 300)
+	conf, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := map[radio.NodeID]int{}
+	for _, rep := range conf.Reports {
+		if rep.Candidate {
+			candidates[rep.Head]++
+		}
+	}
+	var victims []radio.NodeID
+	for _, id := range conf.Heads() {
+		if id != 0 && candidates[id] > 0 && len(victims) < 3 {
+			victims = append(victims, id)
+		}
+	}
+	if len(victims) < 2 {
+		t.Skip("not enough heads with candidates")
+	}
+	res, err := RunDynamic(cfg, dep, KillSchedule{2: victims}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elections < len(victims) {
+		t.Errorf("elections = %d for %d simultaneous deaths", res.Elections, len(victims))
+	}
+}
+
+func TestRunDynamicDeterministicOutcome(t *testing.T) {
+	cfg, dep := liveDeployment(t, 300)
+	conf, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim radio.NodeID = radio.None
+	for _, rep := range conf.Reports {
+		if rep.Candidate {
+			victim = rep.Head
+			break
+		}
+	}
+	if victim == radio.None || victim == 0 {
+		t.Skip("no suitable victim")
+	}
+	winner := func() radio.NodeID {
+		res, err := RunDynamic(cfg, dep, KillSchedule{2: {victim}}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rep := range res.Final {
+			if rep.IsHead {
+				if _, was := headSet(res.Configured)[rep.ID]; !was {
+					return rep.ID
+				}
+			}
+		}
+		return radio.None
+	}
+	a, b := winner(), winner()
+	if a != b {
+		t.Errorf("election winner differs across runs: %d vs %d", a, b)
+	}
+}
+
+func headSet(r Result) map[radio.NodeID]bool {
+	out := map[radio.NodeID]bool{}
+	for _, id := range r.Heads() {
+		out[id] = true
+	}
+	return out
+}

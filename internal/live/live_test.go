@@ -1,0 +1,221 @@
+package live
+
+import (
+	"testing"
+
+	"gs3/internal/core"
+	"gs3/internal/field"
+	"gs3/internal/geom"
+	"gs3/internal/netsim"
+	"gs3/internal/radio"
+	"gs3/internal/rng"
+)
+
+func liveDeployment(t *testing.T, regionRadius float64) (core.Config, field.Deployment) {
+	t.Helper()
+	cfg := core.DefaultConfig(100)
+	dep, err := field.Grid(regionRadius, cfg.Rt*0.9, 0.15, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, dep
+}
+
+func TestRunEmptyDeployment(t *testing.T) {
+	cfg := core.DefaultConfig(100)
+	if _, err := Run(cfg, field.Deployment{}); err == nil {
+		t.Error("empty deployment accepted")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	cfg := core.DefaultConfig(100)
+	cfg.Rt = 0
+	if _, err := Run(cfg, field.Deployment{Positions: []geom.Point{{}}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunTerminatesAndCovers(t *testing.T) {
+	cfg, dep := liveDeployment(t, 350)
+	res, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != dep.N() {
+		t.Fatalf("reports = %d, want %d", len(res.Reports), dep.N())
+	}
+	heads := res.Heads()
+	if len(heads) < 7 {
+		t.Fatalf("only %d heads", len(heads))
+	}
+	uncovered := 0
+	for _, rep := range res.Reports {
+		if !rep.IsHead && rep.Head == radio.None {
+			uncovered++
+		}
+	}
+	if uncovered > 0 {
+		t.Errorf("%d nodes uncovered", uncovered)
+	}
+}
+
+func TestRunHeadsNearILs(t *testing.T) {
+	cfg, dep := liveDeployment(t, 350)
+	res, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range res.Reports {
+		if rep.IsHead && rep.Pos.Dist(rep.IL) > cfg.Rt+1e-9 {
+			t.Errorf("head %d is %v from its IL", rep.ID, rep.Pos.Dist(rep.IL))
+		}
+	}
+}
+
+func TestRunNeighborHeadDistances(t *testing.T) {
+	cfg, dep := liveDeployment(t, 350)
+	res, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var headReports []Report
+	for _, rep := range res.Reports {
+		if rep.IsHead {
+			headReports = append(headReports, rep)
+		}
+	}
+	for i, a := range headReports {
+		for _, b := range headReports[i+1:] {
+			d := a.Pos.Dist(b.Pos)
+			if d <= cfg.NeighborDistMax()+1e-9 && d < cfg.NeighborDistMin()-1e-9 {
+				t.Errorf("heads %d,%d at %v inside the forbidden band", a.ID, b.ID, d)
+			}
+		}
+	}
+}
+
+func TestLiveMatchesEventDriven(t *testing.T) {
+	// The same deployment configured by the goroutine runtime and by
+	// the event-driven runtime must elect the same heads at the same
+	// ILs, and associates must agree almost everywhere (the live
+	// runtime approximates far heads it only knows by announcement).
+	cfg, dep := liveDeployment(t, 350)
+	res, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := netsim.DefaultOptions(100, 350)
+	s, err := netsim.Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the identical deployment: rebuild the network by hand.
+	nw, err := core.NewNetwork(cfg, opt.Radio, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range dep.Positions {
+		if _, err := nw.AddNode(p, i == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.StartConfiguration(); err != nil {
+		t.Fatal(err)
+	}
+	nw.Engine().Run(0)
+	_ = s
+
+	evHeads := map[radio.NodeID]bool{}
+	for _, h := range nw.Snapshot().Heads() {
+		evHeads[h.ID] = true
+	}
+	liveHeads := map[radio.NodeID]bool{}
+	for _, id := range res.Heads() {
+		liveHeads[id] = true
+	}
+	if len(evHeads) != len(liveHeads) {
+		t.Errorf("head counts differ: event %d vs live %d", len(evHeads), len(liveHeads))
+	}
+	for id := range liveHeads {
+		if !evHeads[id] {
+			t.Errorf("live head %d missing in event-driven run", id)
+		}
+	}
+
+	// Associate agreement.
+	snap := nw.Snapshot()
+	agree, total := 0, 0
+	for _, rep := range res.Reports {
+		if rep.IsHead {
+			continue
+		}
+		v, ok := snap.View(rep.ID)
+		if !ok || v.Status != core.StatusAssociate {
+			continue
+		}
+		total++
+		if v.Head == rep.Head {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no associates compared")
+	}
+	if frac := float64(agree) / float64(total); frac < 0.95 {
+		t.Errorf("associate agreement %.3f < 0.95 (%d/%d)", frac, agree, total)
+	}
+}
+
+func TestRunRepeatedStable(t *testing.T) {
+	// The head set is schedule-independent: reservations plus
+	// deterministic ranking make repeated runs elect identical heads.
+	cfg, dep := liveDeployment(t, 300)
+	first, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := Run(cfg, dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := first.Heads(), res.Heads()
+		if len(a) != len(b) {
+			t.Fatalf("run %d: head count %d vs %d", i, len(b), len(a))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("run %d: head sets differ at %d: %d vs %d", i, j, b[j], a[j])
+			}
+		}
+	}
+}
+
+func TestCandidatesWithinRt(t *testing.T) {
+	cfg, dep := liveDeployment(t, 300)
+	res, err := Run(cfg, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilOf := map[radio.NodeID]geom.Point{}
+	for _, rep := range res.Reports {
+		if rep.IsHead {
+			ilOf[rep.ID] = rep.IL
+		}
+	}
+	for _, rep := range res.Reports {
+		if rep.IsHead || !rep.Candidate {
+			continue
+		}
+		il, ok := ilOf[rep.Head]
+		if !ok {
+			t.Errorf("candidate %d of unknown head %d", rep.ID, rep.Head)
+			continue
+		}
+		if rep.Pos.Dist(il) > cfg.Rt+1e-9 {
+			t.Errorf("candidate %d is %v from its cell IL", rep.ID, rep.Pos.Dist(il))
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package radio models the wireless substrate GS³ runs on.
+//
+// The paper's system model (§2.1) grants nodes three capabilities, all
+// of which this package provides:
+//
+//   - adjustable transmission range;
+//   - relative-location detection (range-bounded neighborhood queries);
+//   - reliable destination-aware transmission, with destination-unaware
+//     broadcast allowed to be unreliable (a configurable drop rate).
+//
+// The medium also keeps the accounting the experiments need: message
+// counts, and the geographic footprint of traffic (so healing locality
+// can be measured as "how far from the perturbation did messages flow").
+//
+// Propagation delay is distance/DiffusionSpeed plus a fixed per-message
+// overhead; convergence times in the paper are stated in units of
+// one-way message diffusion time, which this realizes directly.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gs3/internal/geom"
+	"gs3/internal/rng"
+)
+
+// NodeID identifies a node on the medium. The big node is always ID 0.
+type NodeID int
+
+// None is the absent-node sentinel.
+const None NodeID = -1
+
+// Params configures the medium.
+type Params struct {
+	// MaxRange is the maximum transmission range of small nodes.
+	MaxRange float64
+	// DiffusionSpeed is the paper's c₁: the distance a message diffuses
+	// per unit of virtual time.
+	DiffusionSpeed float64
+	// PerMessageOverhead is the fixed latency added to every message.
+	PerMessageOverhead float64
+	// BroadcastLoss is the per-receiver drop probability for
+	// destination-unaware transmissions. Destination-aware transmission
+	// is always reliable (the model's assumption).
+	BroadcastLoss float64
+	// CellSize is the spatial-index bucket size; 0 picks MaxRange.
+	CellSize float64
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.MaxRange <= 0 {
+		return fmt.Errorf("radio: MaxRange must be positive, got %v", p.MaxRange)
+	}
+	if p.DiffusionSpeed <= 0 {
+		return fmt.Errorf("radio: DiffusionSpeed must be positive, got %v", p.DiffusionSpeed)
+	}
+	if p.PerMessageOverhead < 0 {
+		return fmt.Errorf("radio: negative PerMessageOverhead %v", p.PerMessageOverhead)
+	}
+	if p.BroadcastLoss < 0 || p.BroadcastLoss >= 1 {
+		return fmt.Errorf("radio: BroadcastLoss must be in [0,1), got %v", p.BroadcastLoss)
+	}
+	return nil
+}
+
+// Stats is the medium's traffic accounting.
+type Stats struct {
+	Broadcasts   uint64 // destination-unaware sends
+	Unicasts     uint64 // destination-aware sends
+	Deliveries   uint64 // per-receiver deliveries
+	Dropped      uint64 // per-receiver broadcast losses
+	RangeQueries uint64
+}
+
+// Medium is the shared wireless medium.
+type Medium struct {
+	params Params
+	src    *rng.Source
+
+	positions map[NodeID]geom.Point
+	alive     map[NodeID]bool
+	grid      map[gridKey][]NodeID
+	cellSize  float64
+
+	stats Stats
+
+	// footprint tracks the positions of senders for locality analysis,
+	// gated by a collector set with TraceTraffic.
+	trace func(from geom.Point)
+}
+
+type gridKey struct{ x, y int }
+
+// NewMedium returns an empty medium. src supplies broadcast-loss
+// randomness; it may be nil when BroadcastLoss is 0.
+func NewMedium(params Params, src *rng.Source) (*Medium, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.BroadcastLoss > 0 && src == nil {
+		return nil, fmt.Errorf("radio: BroadcastLoss > 0 requires a random source")
+	}
+	cs := params.CellSize
+	if cs <= 0 {
+		cs = params.MaxRange
+	}
+	return &Medium{
+		params:    params,
+		src:       src,
+		positions: make(map[NodeID]geom.Point),
+		alive:     make(map[NodeID]bool),
+		grid:      make(map[gridKey][]NodeID),
+		cellSize:  cs,
+	}, nil
+}
+
+// Params returns the medium's configuration.
+func (m *Medium) Params() Params {
+	return m.params
+}
+
+// Stats returns a copy of the traffic counters.
+func (m *Medium) Stats() Stats {
+	return m.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (m *Medium) ResetStats() {
+	m.stats = Stats{}
+}
+
+// TraceTraffic installs fn to be called with the sender position of
+// every transmission. Pass nil to stop tracing.
+func (m *Medium) TraceTraffic(fn func(from geom.Point)) {
+	m.trace = fn
+}
+
+func (m *Medium) key(p geom.Point) gridKey {
+	return gridKey{int(math.Floor(p.X / m.cellSize)), int(math.Floor(p.Y / m.cellSize))}
+}
+
+// Place adds or moves a node. A placed node is alive.
+func (m *Medium) Place(id NodeID, p geom.Point) {
+	if old, ok := m.positions[id]; ok {
+		m.removeFromGrid(id, old)
+	}
+	m.positions[id] = p
+	m.alive[id] = true
+	k := m.key(p)
+	m.grid[k] = append(m.grid[k], id)
+}
+
+// Remove takes a node off the medium (death or leave).
+func (m *Medium) Remove(id NodeID) {
+	if p, ok := m.positions[id]; ok {
+		m.removeFromGrid(id, p)
+		delete(m.positions, id)
+		delete(m.alive, id)
+	}
+}
+
+func (m *Medium) removeFromGrid(id NodeID, p geom.Point) {
+	k := m.key(p)
+	bucket := m.grid[k]
+	for i, other := range bucket {
+		if other == id {
+			bucket[i] = bucket[len(bucket)-1]
+			m.grid[k] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+// Alive reports whether id is on the medium.
+func (m *Medium) Alive(id NodeID) bool {
+	return m.alive[id]
+}
+
+// Position returns the node's position; ok is false if the node is not
+// on the medium.
+func (m *Medium) Position(id NodeID) (geom.Point, bool) {
+	p, ok := m.positions[id]
+	return p, ok
+}
+
+// Count returns the number of nodes currently on the medium.
+func (m *Medium) Count() int {
+	return len(m.positions)
+}
+
+// IDs returns all node IDs currently on the medium, in unspecified
+// order.
+func (m *Medium) IDs() []NodeID {
+	out := make([]NodeID, 0, len(m.positions))
+	for id := range m.positions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// WithinRange returns the IDs of nodes within dist of point p,
+// excluding exclude (pass None to exclude nobody). The result order is
+// deterministic: ascending ID.
+func (m *Medium) WithinRange(p geom.Point, dist float64, exclude NodeID) []NodeID {
+	m.stats.RangeQueries++
+	var out []NodeID
+	r := int(math.Ceil(dist/m.cellSize)) + 1
+	base := m.key(p)
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for _, id := range m.grid[gridKey{base.x + dx, base.y + dy}] {
+				if id == exclude {
+					continue
+				}
+				if m.positions[id].Dist(p) <= dist {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Delay returns the propagation delay for a transmission covering dist.
+func (m *Medium) Delay(dist float64) float64 {
+	return m.params.PerMessageOverhead + dist/m.params.DiffusionSpeed
+}
+
+// Broadcast performs a destination-unaware transmission from sender to
+// all nodes within radius. Each receiver independently drops the message
+// with probability BroadcastLoss. It returns the surviving receiver IDs
+// (ascending) and the worst-case delay (to the farthest receiver).
+func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
+	p, ok := m.positions[sender]
+	if !ok {
+		return nil, 0
+	}
+	m.stats.Broadcasts++
+	if m.trace != nil {
+		m.trace(p)
+	}
+	ids := m.WithinRange(p, radius, sender)
+	out := ids[:0]
+	var maxDist float64
+	for _, id := range ids {
+		if m.params.BroadcastLoss > 0 && m.src.Float64() < m.params.BroadcastLoss {
+			m.stats.Dropped++
+			continue
+		}
+		out = append(out, id)
+		if d := m.positions[id].Dist(p); d > maxDist {
+			maxDist = d
+		}
+	}
+	m.stats.Deliveries += uint64(len(out))
+	return out, m.Delay(maxDist)
+}
+
+// Unicast performs a reliable destination-aware transmission. It returns
+// the delay, and an error if either endpoint is absent or out of range.
+func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
+	pf, ok := m.positions[from]
+	if !ok {
+		return 0, fmt.Errorf("radio: sender %d not on medium", from)
+	}
+	pt, ok := m.positions[to]
+	if !ok {
+		return 0, fmt.Errorf("radio: receiver %d not on medium", to)
+	}
+	d := pf.Dist(pt)
+	if d > maxRange {
+		return 0, fmt.Errorf("radio: %d→%d distance %.3g exceeds range %.3g", from, to, d, maxRange)
+	}
+	m.stats.Unicasts++
+	m.stats.Deliveries++
+	if m.trace != nil {
+		m.trace(pf)
+	}
+	return m.Delay(d), nil
+}
+
+// Dist returns the distance between two on-medium nodes, or +Inf if
+// either is absent. This is the "relative location detection" primitive
+// of the system model.
+func (m *Medium) Dist(a, b NodeID) float64 {
+	pa, oka := m.positions[a]
+	pb, okb := m.positions[b]
+	if !oka || !okb {
+		return math.Inf(1)
+	}
+	return pa.Dist(pb)
+}

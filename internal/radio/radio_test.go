@@ -1,0 +1,297 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"gs3/internal/geom"
+	"gs3/internal/rng"
+)
+
+func newTestMedium(t *testing.T, p Params) *Medium {
+	t.Helper()
+	m, err := NewMedium(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func defaultParams() Params {
+	return Params{MaxRange: 100, DiffusionSpeed: 100, PerMessageOverhead: 0.01}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"valid", defaultParams(), true},
+		{"zero range", Params{MaxRange: 0, DiffusionSpeed: 1}, false},
+		{"zero speed", Params{MaxRange: 1, DiffusionSpeed: 0}, false},
+		{"negative overhead", Params{MaxRange: 1, DiffusionSpeed: 1, PerMessageOverhead: -1}, false},
+		{"loss 1.0", Params{MaxRange: 1, DiffusionSpeed: 1, BroadcastLoss: 1}, false},
+		{"loss 0.5", Params{MaxRange: 1, DiffusionSpeed: 1, BroadcastLoss: 0.5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate() err = %v, ok = %v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestLossRequiresSource(t *testing.T) {
+	p := defaultParams()
+	p.BroadcastLoss = 0.1
+	if _, err := NewMedium(p, nil); err == nil {
+		t.Error("nil source accepted with loss > 0")
+	}
+}
+
+func TestPlaceAndPosition(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{X: 3, Y: 4})
+	p, ok := m.Position(1)
+	if !ok || p != (geom.Point{X: 3, Y: 4}) {
+		t.Errorf("position = %v ok=%v", p, ok)
+	}
+	if !m.Alive(1) || m.Alive(2) {
+		t.Error("alive flags wrong")
+	}
+	if m.Count() != 1 {
+		t.Errorf("count = %d", m.Count())
+	}
+}
+
+func TestMoveUpdatesGrid(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{X: 0, Y: 0})
+	m.Place(1, geom.Point{X: 500, Y: 500})
+	near := m.WithinRange(geom.Point{}, 50, None)
+	if len(near) != 0 {
+		t.Errorf("stale grid entry: %v", near)
+	}
+	far := m.WithinRange(geom.Point{X: 500, Y: 500}, 50, None)
+	if len(far) != 1 || far[0] != 1 {
+		t.Errorf("moved node not found: %v", far)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{})
+	m.Remove(1)
+	if m.Alive(1) || m.Count() != 0 {
+		t.Error("node survived Remove")
+	}
+	if got := m.WithinRange(geom.Point{}, 10, None); len(got) != 0 {
+		t.Errorf("removed node still in grid: %v", got)
+	}
+	m.Remove(99) // absent: no-op, no panic
+}
+
+func TestWithinRange(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{X: 10, Y: 0})
+	m.Place(2, geom.Point{X: 0, Y: 20})
+	m.Place(3, geom.Point{X: 100, Y: 100})
+	got := m.WithinRange(geom.Point{}, 25, None)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("WithinRange = %v", got)
+	}
+}
+
+func TestWithinRangeExclude(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{})
+	m.Place(2, geom.Point{X: 1, Y: 1})
+	got := m.WithinRange(geom.Point{}, 10, 1)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("WithinRange with exclude = %v", got)
+	}
+}
+
+func TestWithinRangeBoundaryInclusive(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{X: 25, Y: 0})
+	if got := m.WithinRange(geom.Point{}, 25, None); len(got) != 1 {
+		t.Errorf("boundary node excluded: %v", got)
+	}
+}
+
+func TestWithinRangeSortedDeterministic(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	for id := NodeID(20); id >= 1; id-- {
+		m.Place(id, geom.Point{X: float64(id), Y: 0})
+	}
+	got := m.WithinRange(geom.Point{}, 100, None)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+func TestWithinRangeLargerThanCell(t *testing.T) {
+	p := defaultParams()
+	p.CellSize = 5 // queries span many buckets
+	m := newTestMedium(t, p)
+	m.Place(1, geom.Point{X: 80, Y: -60})
+	if got := m.WithinRange(geom.Point{}, 100, None); len(got) != 1 {
+		t.Errorf("cross-bucket query missed node: %v", got)
+	}
+}
+
+func TestDelayModel(t *testing.T) {
+	m := newTestMedium(t, defaultParams()) // speed 100, overhead 0.01
+	if got := m.Delay(100); math.Abs(got-1.01) > 1e-12 {
+		t.Errorf("Delay(100) = %v", got)
+	}
+	if got := m.Delay(0); got != 0.01 {
+		t.Errorf("Delay(0) = %v", got)
+	}
+}
+
+func TestBroadcastReliable(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(0, geom.Point{})
+	m.Place(1, geom.Point{X: 30, Y: 0})
+	m.Place(2, geom.Point{X: 0, Y: 60})
+	m.Place(3, geom.Point{X: 500, Y: 0})
+	got, delay := m.Broadcast(0, 100)
+	if len(got) != 2 {
+		t.Fatalf("receivers = %v", got)
+	}
+	want := m.Delay(60)
+	if math.Abs(delay-want) > 1e-12 {
+		t.Errorf("delay = %v, want %v", delay, want)
+	}
+	st := m.Stats()
+	if st.Broadcasts != 1 || st.Deliveries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBroadcastFromAbsentSender(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	got, delay := m.Broadcast(9, 100)
+	if got != nil || delay != 0 {
+		t.Errorf("absent sender broadcast = %v, %v", got, delay)
+	}
+}
+
+func TestBroadcastLossStatistics(t *testing.T) {
+	p := defaultParams()
+	p.BroadcastLoss = 0.3
+	m := newTestMedium(t, p)
+	m.Place(0, geom.Point{})
+	for id := NodeID(1); id <= 50; id++ {
+		m.Place(id, geom.Point{X: float64(id), Y: 0})
+	}
+	delivered := 0
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		got, _ := m.Broadcast(0, 100)
+		delivered += len(got)
+	}
+	frac := float64(delivered) / float64(rounds*50)
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Errorf("delivery fraction = %v, want ≈0.7", frac)
+	}
+	if m.Stats().Dropped == 0 {
+		t.Error("no drops recorded")
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{})
+	m.Place(2, geom.Point{X: 50, Y: 0})
+	delay, err := m.Unicast(1, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(delay-m.Delay(50)) > 1e-12 {
+		t.Errorf("delay = %v", delay)
+	}
+	if _, err := m.Unicast(1, 2, 10); err == nil {
+		t.Error("out-of-range unicast accepted")
+	}
+	if _, err := m.Unicast(1, 9, 100); err == nil {
+		t.Error("absent receiver accepted")
+	}
+	if _, err := m.Unicast(9, 1, 100); err == nil {
+		t.Error("absent sender accepted")
+	}
+}
+
+func TestDist(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{})
+	m.Place(2, geom.Point{X: 3, Y: 4})
+	if got := m.Dist(1, 2); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := m.Dist(1, 9); !math.IsInf(got, 1) {
+		t.Errorf("Dist to absent = %v", got)
+	}
+}
+
+func TestTraceTraffic(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{X: 7, Y: 7})
+	m.Place(2, geom.Point{X: 8, Y: 7})
+	var seen []geom.Point
+	m.TraceTraffic(func(from geom.Point) { seen = append(seen, from) })
+	m.Broadcast(1, 50)
+	if _, err := m.Unicast(1, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("traced %d events, want 2", len(seen))
+	}
+	m.TraceTraffic(nil)
+	m.Broadcast(1, 50)
+	if len(seen) != 2 {
+		t.Error("trace continued after nil")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{})
+	m.Broadcast(1, 10)
+	m.ResetStats()
+	if st := m.Stats(); st.Broadcasts != 0 || st.RangeQueries != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+}
+
+func TestIDs(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(3, geom.Point{})
+	m.Place(7, geom.Point{X: 1})
+	ids := m.IDs()
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	seen := map[NodeID]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[3] || !seen[7] {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestNegativeCoordinatesGrid(t *testing.T) {
+	m := newTestMedium(t, defaultParams())
+	m.Place(1, geom.Point{X: -250, Y: -310})
+	got := m.WithinRange(geom.Point{X: -255, Y: -305}, 20, None)
+	if len(got) != 1 {
+		t.Errorf("negative-coordinate node missed: %v", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package render draws a network snapshot as an SVG image: the cell
+// hexagons around each IL, the head graph, and the nodes colored by
+// role. Used by cmd/gs3sim to visualize the configured structure
+// (paper Figures 1 and 4).
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Scale in SVG pixels per plane unit; 0 picks a scale that yields
+	// roughly a 1000px-wide image.
+	Scale float64
+	// DrawHexes outlines each cell's ideal hexagon.
+	DrawHexes bool
+	// DrawHeadGraph draws parent edges between heads.
+	DrawHeadGraph bool
+	// DrawAssociateLinks draws a light line from each associate to its
+	// head.
+	DrawAssociateLinks bool
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options {
+	return Options{DrawHexes: true, DrawHeadGraph: true, DrawAssociateLinks: false}
+}
+
+// SVG renders the snapshot.
+func SVG(s core.Snapshot, opt Options) string {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, v := range s.Nodes {
+		minX = math.Min(minX, v.Pos.X)
+		minY = math.Min(minY, v.Pos.Y)
+		maxX = math.Max(maxX, v.Pos.X)
+		maxY = math.Max(maxY, v.Pos.Y)
+	}
+	if len(s.Nodes) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	pad := s.Config.R
+	minX, minY = minX-pad, minY-pad
+	maxX, maxY = maxX+pad, maxY+pad
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 1000 / (maxX - minX)
+	}
+	w := (maxX - minX) * scale
+	h := (maxY - minY) * scale
+	tx := func(p geom.Point) (float64, float64) {
+		return (p.X - minX) * scale, (maxY - p.Y) * scale // flip y for SVG
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="#ffffff"/>`+"\n")
+
+	views := make(map[radio.NodeID]core.NodeView, len(s.Nodes))
+	for _, v := range s.Nodes {
+		views[v.ID] = v
+	}
+
+	if opt.DrawHexes {
+		for _, v := range s.Heads() {
+			b.WriteString(hexPath(v.IL, s.Config.R, s.Config.GR, tx, scale))
+		}
+	}
+	if opt.DrawAssociateLinks {
+		for _, v := range s.Nodes {
+			if v.Status != core.StatusAssociate {
+				continue
+			}
+			hv, ok := views[v.Head]
+			if !ok {
+				continue
+			}
+			x1, y1 := tx(v.Pos)
+			x2, y2 := tx(hv.Pos)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d8e2ef" stroke-width="0.5"/>`+"\n", x1, y1, x2, y2)
+		}
+	}
+	if opt.DrawHeadGraph {
+		for _, v := range s.Heads() {
+			if v.Parent == v.ID || v.Parent == radio.None {
+				continue
+			}
+			pv, ok := views[v.Parent]
+			if !ok {
+				continue
+			}
+			x1, y1 := tx(v.Pos)
+			x2, y2 := tx(pv.Pos)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#8aa2c8" stroke-width="1.5"/>`+"\n", x1, y1, x2, y2)
+		}
+	}
+	for _, v := range s.Nodes {
+		x, y := tx(v.Pos)
+		switch {
+		case v.IsBig:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#c23b22"/>`+"\n", x, y, 6.0)
+		case v.IsHead():
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#1f5fbf"/>`+"\n", x, y, 4.0)
+		case v.Status == core.StatusAssociate && v.Candidate:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#4f8f4f"/>`+"\n", x, y, 2.0)
+		case v.Status == core.StatusAssociate:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#9db79d"/>`+"\n", x, y, 1.5)
+		default:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#c9a227"/>`+"\n", x, y, 2.0)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// hexPath outlines the ideal hexagon of a cell: circumradius R around
+// the IL, with a flat side facing the GR direction (vertices at
+// GR + 30° + k·60°, matching a lattice whose neighbor centers sit at
+// GR + k·60°).
+func hexPath(il geom.Point, r, gr float64, tx func(geom.Point) (float64, float64), scale float64) string {
+	var b strings.Builder
+	b.WriteString(`<path d="`)
+	for k := 0; k < 6; k++ {
+		p := il.Add(geom.UnitAt(gr + math.Pi/6 + float64(k)*math.Pi/3).Scale(r))
+		x, y := tx(p)
+		if k == 0 {
+			fmt.Fprintf(&b, "M %.1f %.1f ", x, y)
+		} else {
+			fmt.Fprintf(&b, "L %.1f %.1f ", x, y)
+		}
+	}
+	b.WriteString(`Z" fill="none" stroke="#c8d4e8" stroke-width="1"/>` + "\n")
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"gs3/internal/core"
+	"gs3/internal/field"
+	"gs3/internal/netsim"
+)
+
+func snapshot(t *testing.T) core.Snapshot {
+	t.Helper()
+	s, err := netsim.Build(netsim.DefaultOptions(100, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Net.Snapshot()
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := SVG(snapshot(t), DefaultOptions())
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not wrapped in <svg>")
+	}
+	if strings.Count(svg, "<circle") < 100 {
+		t.Errorf("too few circles: %d", strings.Count(svg, "<circle"))
+	}
+	if strings.Count(svg, "<path") < 7 {
+		t.Errorf("too few hexagons: %d", strings.Count(svg, "<path"))
+	}
+	if strings.Count(svg, "<line") < 6 {
+		t.Errorf("too few head-graph edges: %d", strings.Count(svg, "<line"))
+	}
+	// Exactly one big-node marker.
+	if got := strings.Count(svg, "#c23b22"); got != 1 {
+		t.Errorf("big markers = %d", got)
+	}
+}
+
+func TestSVGOptionsOff(t *testing.T) {
+	svg := SVG(snapshot(t), Options{})
+	if strings.Contains(svg, "<path") {
+		t.Error("hexes drawn although disabled")
+	}
+	if strings.Contains(svg, "<line") {
+		t.Error("edges drawn although disabled")
+	}
+}
+
+func TestSVGAssociateLinks(t *testing.T) {
+	opt := Options{DrawAssociateLinks: true}
+	svg := SVG(snapshot(t), opt)
+	if strings.Count(svg, "<line") < 100 {
+		t.Errorf("associate links missing: %d lines", strings.Count(svg, "<line"))
+	}
+}
+
+func TestSVGEmptySnapshot(t *testing.T) {
+	dep := field.Deployment{}
+	_ = dep
+	svg := SVG(core.Snapshot{Config: core.DefaultConfig(100)}, DefaultOptions())
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("empty snapshot broke rendering")
+	}
+}
+
+func TestSVGExplicitScale(t *testing.T) {
+	svg := SVG(snapshot(t), Options{Scale: 0.5})
+	if !strings.Contains(svg, "<svg") {
+		t.Error("scaled render failed")
+	}
+}

@@ -1,0 +1,221 @@
+// Package sim implements the discrete-event simulation engine that
+// drives the GS³ network harness.
+//
+// Time is virtual, represented as a float64 number of abstract seconds.
+// Events are ordered by time with a stable sequence-number tie-break so
+// that runs are fully deterministic: two events scheduled for the same
+// instant fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Time is a virtual-time instant in abstract seconds.
+type Time = float64
+
+// Event is a scheduled callback.
+type Event struct {
+	At   Time
+	Name string // for tracing; not used by the engine
+	Fn   func()
+
+	seq      uint64
+	index    int
+	canceled bool
+}
+
+// Handle allows a scheduled event to be canceled before it fires.
+type Handle struct {
+	ev *Event
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on this handle.
+func (h Handle) Canceled() bool {
+	return h.ev != nil && h.ev.canceled
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrEventInPast is returned by Engine.At when an event is scheduled
+// before the current virtual time.
+var ErrEventInPast = errors.New("sim: event scheduled in the past")
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+}
+
+// NewEngine returns an engine at time zero with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time {
+	return e.now
+}
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 {
+	return e.fired
+}
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int {
+	return len(e.queue)
+}
+
+// At schedules fn to run at absolute time at. It returns a Handle that
+// can cancel the event, and ErrEventInPast if at precedes Now.
+func (e *Engine) At(at Time, name string, fn func()) (Handle, error) {
+	if at < e.now {
+		return Handle{}, ErrEventInPast
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}, nil
+}
+
+// After schedules fn to run delay seconds from now. Negative delays are
+// clamped to zero.
+func (e *Engine) After(delay float64, name string, fn func()) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	h, _ := e.At(e.now+delay, name, fn) // cannot be in the past
+	return h
+}
+
+// Step fires the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.At
+		e.fired++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or until maxEvents events
+// have fired (0 means no limit). It returns the number of events fired
+// by this call.
+func (e *Engine) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for maxEvents == 0 || n < maxEvents {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with At ≤ deadline. Events scheduled beyond the
+// deadline remain queued; the engine's clock is advanced to the deadline
+// if it ran dry earlier. It returns the number of events fired.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	var n uint64
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.At > deadline {
+			break
+		}
+		if e.Step() {
+			n++
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// RunWhile fires events while cond() holds, checking after every event,
+// with a hard cap on events to guard against livelock. It returns the
+// number of events fired and whether cond became false (true) or the
+// cap/empty queue stopped the run (false).
+func (e *Engine) RunWhile(cond func() bool, maxEvents uint64) (uint64, bool) {
+	var n uint64
+	for cond() {
+		if maxEvents > 0 && n >= maxEvents {
+			return n, false
+		}
+		if !e.Step() {
+			return n, false
+		}
+		n++
+	}
+	return n, true
+}
+
+// peek returns the earliest non-canceled event without firing it,
+// discarding canceled events it encounters.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// NextEventTime returns the time of the earliest pending event, or +Inf
+// if the queue is empty.
+func (e *Engine) NextEventTime() Time {
+	if ev := e.peek(); ev != nil {
+		return ev.At
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,60 @@
+package gs3
+
+import (
+	"gs3/internal/trace"
+)
+
+// TraceEvent is one recorded protocol transition, in public form.
+type TraceEvent struct {
+	Time  float64
+	Kind  string // e.g. "head_shift", "cell_shift", "sanity_retreat"
+	Node  NodeID
+	Other NodeID
+	Pos   Point
+}
+
+// EnableTracing starts recording protocol events into a bounded ring of
+// the given capacity (older events are evicted). Call before Configure
+// to capture the self-configuration too.
+func (n *Network) EnableTracing(capacity int) {
+	n.nw.SetTracer(trace.NewLog(capacity))
+}
+
+// DisableTracing stops recording and discards the log.
+func (n *Network) DisableTracing() {
+	n.nw.SetTracer(nil)
+}
+
+// TraceEvents returns the recorded protocol events, oldest first
+// (empty when tracing is disabled).
+func (n *Network) TraceEvents() []TraceEvent {
+	l := n.nw.Tracer()
+	if l == nil {
+		return nil
+	}
+	evs := l.Events()
+	out := make([]TraceEvent, len(evs))
+	for i, e := range evs {
+		out[i] = TraceEvent{
+			Time:  e.Time,
+			Kind:  e.Kind.String(),
+			Node:  e.Node,
+			Other: e.Other,
+			Pos:   Point(e.Pos),
+		}
+	}
+	return out
+}
+
+// TraceCounts returns a histogram of recorded events by kind name.
+func (n *Network) TraceCounts() map[string]int {
+	l := n.nw.Tracer()
+	if l == nil {
+		return nil
+	}
+	out := map[string]int{}
+	for k, v := range l.Counts() {
+		out[k.String()] = v
+	}
+	return out
+}
