@@ -1,0 +1,33 @@
+# GS3 build/test entry points. `make check` is the CI gate: it must be
+# green before any commit — build, vet, and the full test suite under
+# the race detector (the engine is single-threaded per trial, but the
+# runner fans trials across goroutines, so the whole tree is required
+# to be race-clean).
+
+GO ?= go
+
+.PHONY: all build vet test race bench smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The paper's tables, regenerated serially (comparable ns/op).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Parallel-vs-serial scaling-sweep smoke benchmark only.
+smoke:
+	$(GO) test -bench='BenchmarkScalingSweep' -benchtime=1x
+
+check: build vet race

@@ -18,6 +18,7 @@ import (
 	"gs3/internal/core"
 	"gs3/internal/exp"
 	"gs3/internal/netsim"
+	"gs3/internal/runner"
 )
 
 // printOnce prints a reproduced table on the first benchmark iteration
@@ -70,7 +71,7 @@ func BenchmarkGapRegionDiameter(b *testing.B) {
 // BenchmarkPerNodeState is experiment T1 (Appendix 1 row 1).
 func BenchmarkPerNodeState(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.PerNodeState(100, []float64{300, 500}, 7)
+		t, err := exp.PerNodeState(runner.Seq, 100, []float64{300, 500}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func BenchmarkPerNodeState(b *testing.B) {
 // BenchmarkStructureLifetime is experiment T2 (Appendix 1 row 2).
 func BenchmarkStructureLifetime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.StructureLifetime(100, 260, []float64{30, 18}, 40, 7)
+		t, err := exp.StructureLifetime(runner.Seq, 100, 260, []float64{30, 18}, 40, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func BenchmarkStructureLifetime(b *testing.B) {
 // BenchmarkPerturbationConvergence is experiment T3 (Appendix 1 row 3).
 func BenchmarkPerturbationConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, _, err := exp.PerturbationConvergence(100, 700, []float64{170, 400, 600}, 7)
+		t, _, err := exp.PerturbationConvergence(runner.Seq, 100, 700, []float64{170, 400, 600}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func BenchmarkPerturbationConvergence(b *testing.B) {
 // Theorem 4).
 func BenchmarkStaticConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, fit, err := exp.StaticConvergence(100, []float64{300, 450, 600}, 7)
+		t, fit, err := exp.StaticConvergence(runner.Seq, 100, []float64{300, 450, 600}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkStaticConvergence(b *testing.B) {
 // 5, Theorem 7).
 func BenchmarkArbitraryStateConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.ArbitraryStateConvergence(100, 500, []float64{150, 300}, 7)
+		t, err := exp.ArbitraryStateConvergence(runner.Seq, 100, 500, []float64{150, 300}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkInvariantCheck(b *testing.B) {
 // BenchmarkBigNodeMoveLocality is experiment M1 (Theorem 11).
 func BenchmarkBigNodeMoveLocality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.BigMoveLocality(100, 500, []float64{1.5, 2.5}, 7)
+		t, err := exp.BigMoveLocality(runner.Seq, 100, 500, []float64{1.5, 2.5}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func BenchmarkStructureSlide(b *testing.B) {
 // BenchmarkVsLEACH is experiment B1 (Related Work vs LEACH).
 func BenchmarkVsLEACH(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.VsLEACH(100, []float64{300, 450}, 7)
+		t, err := exp.VsLEACH(runner.Seq, 100, []float64{300, 450}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func BenchmarkFrequencyReuse(b *testing.B) {
 // BenchmarkRtSweepAblation is ablation A1 (Rt tolerance vs tightness).
 func BenchmarkRtSweepAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.RtSweep(100, 350, []float64{0.15, 0.4}, 7)
+		t, err := exp.RtSweep(runner.Seq, 100, 350, []float64{0.15, 0.4}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,7 +220,7 @@ func BenchmarkRtSweepAblation(b *testing.B) {
 // healing latency).
 func BenchmarkRescanPeriodAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.RescanPeriodAblation(100, 500, []int{2, 8}, 7)
+		t, err := exp.RescanPeriodAblation(runner.Seq, 100, 500, []int{2, 8}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func BenchmarkRescanPeriodAblation(b *testing.B) {
 // masking latency).
 func BenchmarkHeartbeatAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.HeartbeatAblation(100, 350, []float64{0.5, 2}, 7)
+		t, err := exp.HeartbeatAblation(runner.Seq, 100, 350, []float64{0.5, 2}, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,6 +297,43 @@ func BenchmarkSnapshot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if snap := s.Net.Snapshot(); len(snap.Nodes) == 0 {
 			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// ---- Parallel runner smoke benchmarks ----
+//
+// The pair below measures the same T4 scaling sweep executed serially
+// and fanned across GOMAXPROCS workers by internal/runner — the
+// parallel-vs-serial smoke check. Guarded by -short so quick benchmark
+// runs skip the heavy sweep; compare the pair's ns/op to see the
+// trial-level speedup on a multi-core machine.
+
+var smokeSweepRadii = []float64{300, 450, 600}
+
+// BenchmarkScalingSweepSerial runs the T4 sweep one trial at a time.
+func BenchmarkScalingSweepSerial(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy scaling sweep")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.StaticConvergence(runner.Seq, 100, smokeSweepRadii, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalingSweepParallel runs the identical sweep on a
+// GOMAXPROCS worker pool; the output tables are byte-identical to the
+// serial run (asserted by TestParallelSerialDeterminism), only the
+// wall-clock differs.
+func BenchmarkScalingSweepParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy scaling sweep")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.StaticConvergence(runner.Parallel(0), 100, smokeSweepRadii, 7); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -2,11 +2,19 @@
 // experiment prints rows directly comparable to what the paper reports;
 // EXPERIMENTS.md records paper-vs-measured for each.
 //
+// Multi-row experiments fan their trials across a worker pool
+// (internal/runner); the printed tables are byte-identical whatever the
+// worker count, so -parallel/-seq change only the wall-clock time.
+// Timing reports go to stderr, keeping stdout tables diffable across
+// runs.
+//
 // Usage:
 //
 //	gs3bench -exp all          # every experiment (slow)
 //	gs3bench -exp F7,F8        # just the Figure 7/8 curves
 //	gs3bench -list             # list experiment IDs
+//	gs3bench -exp all -parallel 8   # fan trials across 8 workers
+//	gs3bench -exp all -seq          # force strictly serial trials
 package main
 
 import (
@@ -14,188 +22,190 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gs3/internal/analysis"
 	"gs3/internal/exp"
+	"gs3/internal/runner"
 )
 
 type experiment struct {
 	id   string
 	desc string
-	run  func(seed uint64, quick bool) (string, error)
+	run  func(p runner.Pool, seed uint64, quick bool) (string, error)
 }
 
 func experiments() []experiment {
 	return []experiment{
-		{"F7", "Figure 7: expected ratio of non-ideal cells vs Rt/R", func(seed uint64, quick bool) (string, error) {
+		{"F7", "Figure 7: expected ratio of non-ideal cells vs Rt/R", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			trials := 200000
 			if quick {
 				trials = 20000
 			}
 			return exp.Figure7(10, 100, analysis.DefaultRatios(), trials, seed).Format(), nil
 		}},
-		{"F8", "Figure 8: expected diameter of an Rt-gap perturbed region vs Rt/R", func(seed uint64, quick bool) (string, error) {
+		{"F8", "Figure 8: expected diameter of an Rt-gap perturbed region vs Rt/R", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			trials := 200000
 			if quick {
 				trials = 20000
 			}
 			return exp.Figure8(10, 100, analysis.DefaultRatios(), trials, seed).Format(), nil
 		}},
-		{"F7b", "Rt-gap handling end to end: configure around a gap, absorb after fill", func(seed uint64, quick bool) (string, error) {
+		{"F7b", "Rt-gap handling end to end: configure around a gap, absorb after fill", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			t, err := exp.GapResilience(100, 400, 80, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"T1", "Appendix 1 row 1: per-node state is constant", func(seed uint64, quick bool) (string, error) {
+		{"T1", "Appendix 1 row 1: per-node state is constant", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			radii := []float64{300, 500, 700}
 			if quick {
 				radii = []float64{300, 500}
 			}
-			t, err := exp.PerNodeState(100, radii, seed)
+			t, err := exp.PerNodeState(p, 100, radii, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"T1b", "local coordination: configuration traffic per node is constant", func(seed uint64, quick bool) (string, error) {
+		{"T1b", "local coordination: configuration traffic per node is constant", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			radii := []float64{300, 500, 700}
 			if quick {
 				radii = []float64{300, 500}
 			}
-			t, err := exp.MessageLocality(100, radii, seed)
+			t, err := exp.MessageLocality(p, 100, radii, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"T2", "Appendix 1 row 2: lifetime lengthened by Omega(nc)", func(seed uint64, quick bool) (string, error) {
+		{"T2", "Appendix 1 row 2: lifetime lengthened by Omega(nc)", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			spacings := []float64{30, 22, 16}
 			if quick {
 				spacings = []float64{30, 18}
 			}
-			t, err := exp.StructureLifetime(100, 260, spacings, 40, seed)
+			t, err := exp.StructureLifetime(p, 100, 260, spacings, 40, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"T3", "Appendix 1 row 3: healing time is O(Dp)", func(seed uint64, quick bool) (string, error) {
+		{"T3", "Appendix 1 row 3: healing time is O(Dp)", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			diams := []float64{170, 300, 450, 600}
 			if quick {
 				diams = []float64{170, 400, 600}
 			}
-			t, _, err := exp.PerturbationConvergence(100, 700, diams, seed)
+			t, _, err := exp.PerturbationConvergence(p, 100, 700, diams, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"T3b", "healing impact radius independent of network size", func(seed uint64, quick bool) (string, error) {
+		{"T3b", "healing impact radius independent of network size", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			radii := []float64{400, 600, 800}
 			if quick {
 				radii = []float64{400, 600}
 			}
-			t, err := exp.HealingLocalityVsSize(100, radii, seed)
+			t, err := exp.HealingLocalityVsSize(p, 100, radii, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"T4", "Appendix 1 row 4: static configuration time is theta(Db)", func(seed uint64, quick bool) (string, error) {
+		{"T4", "Appendix 1 row 4: static configuration time is theta(Db)", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			radii := []float64{300, 450, 600, 750}
 			if quick {
 				radii = []float64{300, 450, 600}
 			}
-			t, _, err := exp.StaticConvergence(100, radii, seed)
+			t, _, err := exp.StaticConvergence(p, 100, radii, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"T5", "Appendix 1 row 5: stabilization from corrupted state is O(Dc)", func(seed uint64, quick bool) (string, error) {
+		{"T5", "Appendix 1 row 5: stabilization from corrupted state is O(Dc)", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			diams := []float64{150, 300, 450}
 			if quick {
 				diams = []float64{150, 300}
 			}
-			t, err := exp.ArbitraryStateConvergence(100, 500, diams, seed)
+			t, err := exp.ArbitraryStateConvergence(p, 100, 500, diams, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"S1", "structure slides as a whole under uniform death", func(seed uint64, quick bool) (string, error) {
+		{"S1", "structure slides as a whole under uniform death", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			t, err := exp.SlideConsistency(100, 300, 60, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"M1", "Theorem 11: big-node move impact contained in sqrt(3)d/2", func(seed uint64, quick bool) (string, error) {
+		{"M1", "Theorem 11: big-node move impact contained in sqrt(3)d/2", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			moves := []float64{1, 1.5, 2, 2.5}
 			if quick {
 				moves = []float64{1.5, 2.5}
 			}
-			t, err := exp.BigMoveLocality(100, 500, moves, seed)
+			t, err := exp.BigMoveLocality(p, 100, 500, moves, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"B1", "GS3 vs LEACH: radius control and healing cost", func(seed uint64, quick bool) (string, error) {
+		{"B1", "GS3 vs LEACH: radius control and healing cost", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			radii := []float64{300, 450, 600}
 			if quick {
 				radii = []float64{300, 450}
 			}
-			t, err := exp.VsLEACH(100, radii, seed)
+			t, err := exp.VsLEACH(p, 100, radii, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"B2", "GS3 vs hop-bounded clustering: radius spread and overlap", func(seed uint64, quick bool) (string, error) {
+		{"B2", "GS3 vs hop-bounded clustering: radius spread and overlap", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			t, err := exp.VsHopCluster(100, 400, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"C1", "frequency reuse: channels per clustering scheme", func(seed uint64, quick bool) (string, error) {
+		{"C1", "frequency reuse: channels per clustering scheme", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			t, err := exp.FrequencyReuse(100, 400, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"A1", "ablation: radius tolerance Rt vs structure tightness", func(seed uint64, quick bool) (string, error) {
+		{"A1", "ablation: radius tolerance Rt vs structure tightness", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			ratios := []float64{0.1, 0.15, 0.25, 0.4}
 			if quick {
 				ratios = []float64{0.15, 0.4}
 			}
-			t, err := exp.RtSweep(100, 350, ratios, seed)
+			t, err := exp.RtSweep(p, 100, 350, ratios, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"A2", "ablation: boundary-rescan period vs healing latency", func(seed uint64, quick bool) (string, error) {
+		{"A2", "ablation: boundary-rescan period vs healing latency", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			periods := []int{2, 5, 8}
 			if quick {
 				periods = []int{2, 8}
 			}
-			t, err := exp.RescanPeriodAblation(100, 500, periods, seed)
+			t, err := exp.RescanPeriodAblation(p, 100, 500, periods, seed)
 			if err != nil {
 				return "", err
 			}
 			return t.Format(), nil
 		}},
-		{"A3", "ablation: heartbeat interval vs head-death masking latency", func(seed uint64, quick bool) (string, error) {
+		{"A3", "ablation: heartbeat interval vs head-death masking latency", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			intervals := []float64{0.5, 1, 2}
 			if quick {
 				intervals = []float64{0.5, 2}
 			}
-			t, err := exp.HeartbeatAblation(100, 350, intervals, seed)
+			t, err := exp.HeartbeatAblation(p, 100, 350, intervals, seed)
 			if err != nil {
 				return "", err
 			}
@@ -214,10 +224,12 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("gs3bench", flag.ContinueOnError)
 	var (
-		which = fs.String("exp", "all", "comma-separated experiment IDs, or \"all\"")
-		list  = fs.Bool("list", false, "list experiment IDs and exit")
-		seed  = fs.Uint64("seed", 7, "random seed")
-		quick = fs.Bool("quick", false, "smaller parameter sweeps")
+		which    = fs.String("exp", "all", "comma-separated experiment IDs, or \"all\"")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		seed     = fs.Uint64("seed", 7, "random seed")
+		quick    = fs.Bool("quick", false, "smaller parameter sweeps")
+		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS)")
+		seq      = fs.Bool("seq", false, "run trials strictly serially (same output, slower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -229,6 +241,10 @@ func run(args []string, out *os.File) error {
 		}
 		return nil
 	}
+	pool := runner.Parallel(*parallel)
+	if *seq {
+		pool = runner.Seq
+	}
 	want := map[string]bool{}
 	all := *which == "all"
 	if !all {
@@ -237,19 +253,31 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	ran := 0
+	wallStart := time.Now()
 	for _, e := range exps {
 		if !all && !want[e.id] {
 			continue
 		}
-		text, err := e.run(*seed, *quick)
+		expStart := time.Now()
+		text, err := e.run(pool, *seed, *quick)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		fmt.Fprintln(out, text)
+		fmt.Fprintf(os.Stderr, "# timing: %-4s %v\n", e.id, time.Since(expStart).Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches %q (use -list)", *which)
 	}
+	mode := fmt.Sprintf("parallel=%d", pool.Workers)
+	if pool.Workers <= 0 {
+		mode = "parallel=GOMAXPROCS"
+	}
+	if *seq {
+		mode = "seq"
+	}
+	fmt.Fprintf(os.Stderr, "# timing: total %v across %d experiments (%s)\n",
+		time.Since(wallStart).Round(time.Millisecond), ran, mode)
 	return nil
 }

@@ -84,3 +84,14 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestRunParallelMatchesSeq is the CLI-level determinism check: the
+// same experiment printed under -seq and under -parallel must be
+// byte-identical on stdout (timing goes to stderr only).
+func TestRunParallelMatchesSeq(t *testing.T) {
+	seq := captureRun(t, []string{"-exp", "T1", "-quick", "-seq"})
+	par := captureRun(t, []string{"-exp", "T1", "-quick", "-parallel", "4"})
+	if seq != par {
+		t.Errorf("stdout differs between -seq and -parallel:\n--- seq ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

@@ -2,27 +2,40 @@
 // structure: configure a deployment, optionally perturb it, verify the
 // invariant, print statistics, and (optionally) write an SVG rendering.
 //
+// With -trials N it replicates the scenario N times with per-trial
+// seeds derived from -seed (trial 0 keeps the base seed, so -trials 1
+// reproduces the single run exactly), fanning the replicas across a
+// worker pool. Reports print in trial order regardless of completion
+// order; per-trial timing goes to stderr. SVG/JSON/trace output always
+// comes from trial 0, the base-seed run.
+//
 // Usage examples:
 //
 //	gs3sim -region 500 -r 100
 //	gs3sim -region 500 -r 100 -lambda 0.02
 //	gs3sim -region 500 -kill-disk 150,80,120 -sweeps 40
 //	gs3sim -region 400 -svg structure.svg
+//	gs3sim -region 400 -trials 8            # 8 seed replicates in parallel
+//	gs3sim -region 400 -trials 8 -seq       # same reports, one at a time
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gs3/internal/check"
 	"gs3/internal/core"
 	"gs3/internal/geom"
 	"gs3/internal/netsim"
 	"gs3/internal/render"
+	"gs3/internal/runner"
 	"gs3/internal/trace"
 )
 
@@ -33,6 +46,22 @@ func main() {
 	}
 }
 
+// scenario is one fully resolved gs3sim run: options plus the
+// perturbation and reporting knobs. Each trial executes its own copy —
+// scenarios share nothing, so replicas can run concurrently.
+type scenario struct {
+	opt      netsim.Options
+	mobile   bool
+	hasKill  bool
+	killC    geom.Point
+	killR    float64
+	sweeps   int
+	traceN   int
+	svgPath  string
+	dumpPath string
+	quiet    bool
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("gs3sim", flag.ContinueOnError)
 	var (
@@ -41,7 +70,7 @@ func run(args []string) error {
 		region   = fs.Float64("region", 500, "deployment disk radius")
 		lambda   = fs.Float64("lambda", 0, "Poisson density (nodes per unit-radius disk); 0 = grid deployment")
 		spacing  = fs.Float64("spacing", 0, "grid spacing (default 0.9*Rt)")
-		seed     = fs.Uint64("seed", 1, "random seed")
+		seed     = fs.Uint64("seed", 1, "random seed (base seed when -trials > 1)")
 		sweeps   = fs.Int("sweeps", 0, "maintenance sweeps to run after configuring (enables GS3-D)")
 		mobile   = fs.Bool("mobile", false, "run GS3-M instead of GS3-D maintenance")
 		killDisk = fs.String("kill-disk", "", "kill all nodes in disk \"x,y,radius\" after configuring")
@@ -49,115 +78,174 @@ func run(args []string) error {
 		traceN   = fs.Int("trace", 0, "record protocol events and print the last N")
 		dumpPath = fs.String("dump", "", "write the final snapshot as JSON to this file")
 		quiet    = fs.Bool("q", false, "print only the one-line summary")
+		trials   = fs.Int("trials", 1, "seed replicates of the scenario (seeds derived from -seed)")
+		parallel = fs.Int("parallel", 0, "workers for -trials fan-out (0 = GOMAXPROCS)")
+		seq      = fs.Bool("seq", false, "run trials strictly serially (same reports, slower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be at least 1, got %d", *trials)
+	}
 
-	opt := netsim.DefaultOptions(*r, *region)
-	opt.Seed = *seed
+	base := scenario{
+		mobile:   *mobile,
+		sweeps:   *sweeps,
+		traceN:   *traceN,
+		svgPath:  *svgPath,
+		dumpPath: *dumpPath,
+		quiet:    *quiet,
+	}
+	base.opt = netsim.DefaultOptions(*r, *region)
+	base.opt.Seed = *seed
 	if *rt > 0 {
-		opt.Config.Rt = *rt
+		base.opt.Config.Rt = *rt
 	}
 	if *lambda > 0 {
-		opt.GridSpacing = 0
-		opt.Lambda = *lambda
+		base.opt.GridSpacing = 0
+		base.opt.Lambda = *lambda
 	} else if *spacing > 0 {
-		opt.GridSpacing = *spacing
+		base.opt.GridSpacing = *spacing
 	}
-
-	s, err := netsim.Build(opt)
-	if err != nil {
-		return err
-	}
-	if *traceN > 0 {
-		s.Net.SetTracer(trace.NewLog(*traceN))
-	}
-	elapsed, err := s.Configure()
-	if err != nil {
-		return err
-	}
-	if !*quiet {
-		fmt.Printf("configured %d nodes in %.2f virtual seconds\n", s.Net.Medium().Count(), elapsed)
-	}
-
 	if *killDisk != "" {
 		c, radius, err := parseDisk(*killDisk)
 		if err != nil {
 			return err
 		}
+		base.hasKill = true
+		base.killC, base.killR = c, radius
+	}
+
+	if *trials == 1 {
+		return base.run(os.Stdout)
+	}
+
+	pool := runner.Parallel(*parallel)
+	if *seq {
+		pool = runner.Seq
+	}
+	reports, stats, err := runner.MapTimed(pool, *trials, func(i int) (string, error) {
+		sc := base
+		sc.opt.Seed = runner.TrialSeed(*seed, i)
+		if i != 0 {
+			// File and trace output belong to the base-seed trial only;
+			// replicas report their summary lines.
+			sc.svgPath, sc.dumpPath, sc.traceN = "", "", 0
+		}
+		var buf bytes.Buffer
+		if err := sc.run(&buf); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, report := range reports {
+		fmt.Printf("--- trial %d (seed %d) ---\n%s", i, runner.TrialSeed(*seed, i), report)
+	}
+	for _, tt := range stats.Trials {
+		fmt.Fprintf(os.Stderr, "# timing: trial %d %v\n", tt.Trial, tt.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "# timing: wall %v, serial-equivalent %v, speedup %.2fx on %d workers\n",
+		stats.Wall.Round(time.Millisecond), stats.Serial().Round(time.Millisecond),
+		stats.Speedup(), stats.Workers)
+	return nil
+}
+
+// run executes the scenario and writes its report to w. It is safe to
+// call concurrently on distinct scenario values: each call builds a
+// private simulation and touches nothing shared.
+func (sc scenario) run(w io.Writer) error {
+	s, err := netsim.Build(sc.opt)
+	if err != nil {
+		return err
+	}
+	if sc.traceN > 0 {
+		s.Net.SetTracer(trace.NewLog(sc.traceN))
+	}
+	elapsed, err := s.Configure()
+	if err != nil {
+		return err
+	}
+	if !sc.quiet {
+		fmt.Fprintf(w, "configured %d nodes in %.2f virtual seconds\n", s.Net.Medium().Count(), elapsed)
+	}
+
+	if sc.hasKill {
 		variant := core.VariantD
-		if *mobile {
+		if sc.mobile {
 			variant = core.VariantM
 		}
 		s.Net.StartMaintenance(variant)
-		killed := s.KillDisk(c, radius)
-		if !*quiet {
-			fmt.Printf("killed %d nodes in disk (%.0f,%.0f) r=%.0f\n", killed, c.X, c.Y, radius)
+		killed := s.KillDisk(sc.killC, sc.killR)
+		if !sc.quiet {
+			fmt.Fprintf(w, "killed %d nodes in disk (%.0f,%.0f) r=%.0f\n", killed, sc.killC.X, sc.killC.Y, sc.killR)
 		}
 	}
-	if *sweeps > 0 {
+	if sc.sweeps > 0 {
 		variant := core.VariantD
-		if *mobile {
+		if sc.mobile {
 			variant = core.VariantM
 		}
 		s.Net.StartMaintenance(variant)
-		s.RunSweeps(*sweeps)
-		if !*quiet {
-			fmt.Printf("ran %d maintenance sweeps (%s)\n", *sweeps, variant)
+		s.RunSweeps(sc.sweeps)
+		if !sc.quiet {
+			fmt.Fprintf(w, "ran %d maintenance sweeps (%s)\n", sc.sweeps, variant)
 		}
 	}
 
 	snap := s.Net.Snapshot()
 	st := check.Stats(snap)
 	mode := check.Static
-	if *sweeps > 0 || *killDisk != "" {
+	if sc.sweeps > 0 || sc.hasKill {
 		mode = check.Dynamic
 	}
 	inv := check.Invariant(snap, mode)
 
-	fmt.Printf("nodes=%d heads=%d associates=%d bootup=%d ilDeviationMax=%.1f invariantOK=%v\n",
+	fmt.Fprintf(w, "nodes=%d heads=%d associates=%d bootup=%d ilDeviationMax=%.1f invariantOK=%v\n",
 		len(snap.Nodes), st.Heads, st.Associates, st.Bootup, st.MaxILDeviation, inv.OK())
-	if !*quiet {
+	if !sc.quiet {
 		for i, v := range inv.Violations {
 			if i >= 10 {
-				fmt.Printf("  ... and %d more violations\n", len(inv.Violations)-10)
+				fmt.Fprintf(w, "  ... and %d more violations\n", len(inv.Violations)-10)
 				break
 			}
-			fmt.Printf("  violation: %v\n", v)
+			fmt.Fprintf(w, "  violation: %v\n", v)
 		}
 		m := s.Net.Metrics()
-		fmt.Printf("actions: headOrgs=%d headsSelected=%d headShifts=%d cellShifts=%d abandonments=%d sanityRetreats=%d\n",
+		fmt.Fprintf(w, "actions: headOrgs=%d headsSelected=%d headShifts=%d cellShifts=%d abandonments=%d sanityRetreats=%d\n",
 			m.HeadOrgs, m.HeadsSelected, m.HeadShifts, m.CellShifts, m.Abandonments, m.SanityRetreats)
 		rs := s.Net.Medium().Stats()
-		fmt.Printf("radio: broadcasts=%d unicasts=%d deliveries=%d\n", rs.Broadcasts, rs.Unicasts, rs.Deliveries)
+		fmt.Fprintf(w, "radio: broadcasts=%d unicasts=%d deliveries=%d\n", rs.Broadcasts, rs.Unicasts, rs.Deliveries)
 	}
 
-	if *traceN > 0 {
+	if sc.traceN > 0 {
 		if l := s.Net.Tracer(); l != nil {
-			fmt.Printf("--- last %d protocol events (%d dropped) ---\n%s", l.Len(), l.Dropped(), l.Dump())
+			fmt.Fprintf(w, "--- last %d protocol events (%d dropped) ---\n%s", l.Len(), l.Dropped(), l.Dump())
 		}
 	}
 
-	if *svgPath != "" {
+	if sc.svgPath != "" {
 		svg := render.SVG(snap, render.DefaultOptions())
-		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+		if err := os.WriteFile(sc.svgPath, []byte(svg), 0o644); err != nil {
 			return fmt.Errorf("write svg: %w", err)
 		}
-		if !*quiet {
-			fmt.Printf("wrote %s\n", *svgPath)
+		if !sc.quiet {
+			fmt.Fprintf(w, "wrote %s\n", sc.svgPath)
 		}
 	}
-	if *dumpPath != "" {
+	if sc.dumpPath != "" {
 		data, err := json.MarshalIndent(snap, "", " ")
 		if err != nil {
 			return fmt.Errorf("encode snapshot: %w", err)
 		}
-		if err := os.WriteFile(*dumpPath, data, 0o644); err != nil {
+		if err := os.WriteFile(sc.dumpPath, data, 0o644); err != nil {
 			return fmt.Errorf("write snapshot: %w", err)
 		}
-		if !*quiet {
-			fmt.Printf("wrote %s\n", *dumpPath)
+		if !sc.quiet {
+			fmt.Fprintf(w, "wrote %s\n", sc.dumpPath)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,5 +85,50 @@ func TestRunWritesDump(t *testing.T) {
 func TestRunTraceFlag(t *testing.T) {
 	if err := run([]string{"-region", "250", "-trace", "20", "-q"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTrialsFanOut(t *testing.T) {
+	if err := run([]string{"-region", "250", "-trials", "3", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTrialsRejectsZero(t *testing.T) {
+	if err := run([]string{"-region", "250", "-trials", "0"}); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// TestRunTrialsDeterministic captures stdout of a parallel and a serial
+// -trials run and requires byte-identical reports in trial order.
+func TestRunTrialsDeterministic(t *testing.T) {
+	capture := func(args []string) string {
+		t.Helper()
+		old := os.Stdout
+		rd, wr, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = wr
+		runErr := run(args)
+		wr.Close()
+		os.Stdout = old
+		data, err := io.ReadAll(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		return string(data)
+	}
+	seq := capture([]string{"-region", "250", "-trials", "3", "-seed", "9", "-q", "-seq"})
+	par := capture([]string{"-region", "250", "-trials", "3", "-seed", "9", "-q", "-parallel", "4"})
+	if seq != par {
+		t.Errorf("trial reports differ between -seq and -parallel:\n--- seq ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "--- trial 2") {
+		t.Errorf("missing trial headers:\n%s", seq)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"gs3/internal/core"
 	"gs3/internal/geom"
 	"gs3/internal/netsim"
+	"gs3/internal/runner"
 	"gs3/internal/stats"
 )
 
@@ -13,8 +14,10 @@ import (
 // probability every Rt-disk holds a node") and proves all bounds as
 // functions of it; this sweep shows the bounds are live — looser Rt
 // buys easier head selection at the price of wider cell-radius and
-// neighbor-distance spreads.
-func RtSweep(r, regionRadius float64, ratios []float64, seed uint64) (Table, error) {
+// neighbor-distance spreads. Ratios run as independent trials on the
+// pool; every trial reuses the same seed so the swept parameter is the
+// only thing that varies.
+func RtSweep(p runner.Pool, r, regionRadius float64, ratios []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "A1",
 		Title:   "Ablation: radius tolerance Rt vs structure tightness",
@@ -23,33 +26,39 @@ func RtSweep(r, regionRadius float64, ratios []float64, seed uint64) (Table, err
 			"maxILDev <= Rt (Corollary 2); neighborDistSpread = max-min over neighbor pairs <= 4Rt (Corollary 1)",
 		},
 	}
-	for _, q := range ratios {
+	rows, err := runner.Map(p, len(ratios), func(i int) ([]float64, error) {
+		q := ratios[i]
 		opt := netsim.DefaultOptions(r, regionRadius)
 		opt.Seed = seed
 		opt.Config.Rt = q * r
 		opt.GridSpacing = opt.Config.Rt * 0.9
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		st := check.Stats(s.Net.Snapshot())
 		radii := stats.Summarize(st.CellRadii)
 		nd := stats.Summarize(st.NeighborDists)
-		t.Rows = append(t.Rows, []float64{
+		return []float64{
 			q, float64(st.Heads), st.MaxILDeviation, radii.P90, nd.Max - nd.Min,
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // RescanPeriodAblation is ablation A2: the boundary-rescan period is
 // the detection-latency term of the O(D_p) healing bound. Sweeping it
 // shows healing time scales with the period while the structure's
-// steady state is unaffected.
-func RescanPeriodAblation(r, regionRadius float64, periods []int, seed uint64) (Table, error) {
+// steady state is unaffected. Periods run as independent trials on the
+// pool.
+func RescanPeriodAblation(p runner.Pool, r, regionRadius float64, periods []int, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "A2",
 		Title:   "Ablation: boundary-rescan period vs healing latency",
@@ -58,16 +67,17 @@ func RescanPeriodAblation(r, regionRadius float64, periods []int, seed uint64) (
 			"same Dp=300 clear+repopulate perturbation for every row",
 		},
 	}
-	for _, period := range periods {
+	rows, err := runner.Map(p, len(periods), func(i int) ([]float64, error) {
+		period := periods[i]
 		opt := netsim.DefaultOptions(r, regionRadius)
 		opt.Seed = seed
 		opt.Config.BoundaryRescanEvery = period
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		s.Net.StartMaintenance(core.VariantD)
 		s.RunSweeps(2)
@@ -118,30 +128,36 @@ func RescanPeriodAblation(r, regionRadius float64, periods []int, seed uint64) (
 		if sweeps > 0 {
 			orgRate = float64(s.Net.Metrics().HeadOrgs-orgsBefore) / float64(sweeps)
 		}
-		t.Rows = append(t.Rows, []float64{float64(period), elapsed, orgRate})
+		return []float64{float64(period), elapsed, orgRate}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // HeartbeatAblation is ablation A3: the heartbeat interval is the
 // failure-detection latency of intra-cell maintenance. Sweeping it
-// shows head-death masking time scales with the interval.
-func HeartbeatAblation(r, regionRadius float64, intervals []float64, seed uint64) (Table, error) {
+// shows head-death masking time scales with the interval. Intervals
+// run as independent trials on the pool.
+func HeartbeatAblation(p runner.Pool, r, regionRadius float64, intervals []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "A3",
 		Title:   "Ablation: heartbeat interval vs head-death masking latency",
 		Columns: []string{"interval", "maskTime"},
 	}
-	for _, interval := range intervals {
+	rows, err := runner.Map(p, len(intervals), func(i int) ([]float64, error) {
+		interval := intervals[i]
 		opt := netsim.DefaultOptions(r, regionRadius)
 		opt.Seed = seed
 		opt.Config.HeartbeatInterval = interval
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		s.Net.StartMaintenance(core.VariantD)
 		s.RunSweeps(2)
@@ -175,7 +191,11 @@ func HeartbeatAblation(r, regionRadius float64, intervals []float64, seed uint64
 		if elapsed < 0 {
 			elapsed = s.Net.Engine().Now() - start
 		}
-		t.Rows = append(t.Rows, []float64{interval, elapsed})
+		return []float64{interval, elapsed}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -1,12 +1,16 @@
 package exp
 
-import "testing"
+import (
+	"testing"
+
+	"gs3/internal/runner"
+)
 
 func TestRtSweepTightness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow ablation")
 	}
-	tb, err := RtSweep(100, 350, []float64{0.15, 0.25, 0.4}, 7)
+	tb, err := RtSweep(runner.Parallel(2), 100, 350, []float64{0.15, 0.25, 0.4}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +39,7 @@ func TestRescanPeriodAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow ablation")
 	}
-	tb, err := RescanPeriodAblation(100, 500, []int{2, 8}, 7)
+	tb, err := RescanPeriodAblation(runner.Parallel(2), 100, 500, []int{2, 8}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +58,7 @@ func TestHeartbeatAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow ablation")
 	}
-	tb, err := HeartbeatAblation(100, 350, []float64{0.5, 2}, 7)
+	tb, err := HeartbeatAblation(runner.Parallel(2), 100, 350, []float64{0.5, 2}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

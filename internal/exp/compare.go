@@ -11,6 +11,7 @@ import (
 	"gs3/internal/netsim"
 	"gs3/internal/radio"
 	"gs3/internal/rng"
+	"gs3/internal/runner"
 	"gs3/internal/stats"
 )
 
@@ -19,8 +20,9 @@ import (
 // band while LEACH's radii are unbounded; (b) healing cost — GS³ heals
 // a head death with messages confined to the perturbed cell's
 // neighborhood, while LEACH re-clusters globally, costing O(n)
-// messages. Rows are one per region radius (network size).
-func VsLEACH(r float64, regionRadii []float64, seed uint64) (Table, error) {
+// messages. Rows are one per region radius (network size); radii run
+// as independent trials on the pool.
+func VsLEACH(p runner.Pool, r float64, regionRadii []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:    "B1",
 		Title: "GS3 vs LEACH: radius control and healing cost",
@@ -32,15 +34,16 @@ func VsLEACH(r float64, regionRadii []float64, seed uint64) (Table, error) {
 			"GS3 touches one cell's neighborhood; LEACH re-clusters every node",
 		},
 	}
-	for _, radius := range regionRadii {
+	rows, err := runner.Map(p, len(regionRadii), func(i int) ([]float64, error) {
+		radius := regionRadii[i]
 		opt := netsim.DefaultOptions(r, radius)
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		gs3Radii := snapshotRadii(s)
 
@@ -49,28 +52,32 @@ func VsLEACH(r float64, regionRadii []float64, seed uint64) (Table, error) {
 		// measure.
 		touched, err := gs3HealTouched(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 
 		// LEACH on the same deployment; its own healing procedure
 		// re-clusters every node.
-		p := leachHeadProbability(s)
-		lc, err := baseline.LEACH(s.Dep, p, 4*radius, rng.New(seed+1))
+		prob := leachHeadProbability(s)
+		lc, err := baseline.LEACH(s.Dep, prob, 4*radius, rng.New(seed+1))
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		heal, err := baseline.LEACHHeal(s.Dep, p, 4*radius, rng.New(seed+2))
+		heal, err := baseline.LEACHHeal(s.Dep, prob, 4*radius, rng.New(seed+2))
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []float64{
+		return []float64{
 			float64(s.Net.Medium().Count()),
 			stats.Summarize(gs3Radii).Max,
 			lc.MaxRadius(),
 			touched,
 			float64(heal.Messages),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -7,6 +7,19 @@
 // Each experiment returns a Table whose rows mirror what the paper
 // reports, so `cmd/gs3bench` and the benchmarks print directly
 // comparable series. EXPERIMENTS.md records paper-vs-measured for each.
+//
+// # Concurrency
+//
+// Every multi-row experiment takes a runner.Pool and executes its
+// sweep points as independent trials — each trial builds its own
+// engine, network, and RNG, and nothing is shared between trials.
+// Rows are collected in sweep order, so the resulting Table (and its
+// Format output) is byte-identical whatever the worker count; the pool
+// changes only wall-clock time. Sweep trials deliberately reuse the
+// caller's seed unchanged: a sweep is a controlled experiment in which
+// the swept parameter must be the only thing that varies. Replicated
+// trials of the *same* parameters (gs3sim -trials) instead derive
+// per-trial seeds with runner.TrialSeed.
 package exp
 
 import (

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"gs3/internal/runner"
 )
 
 func TestTableFormat(t *testing.T) {
@@ -76,7 +78,7 @@ func TestFigure8ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestPerNodeStateConstant(t *testing.T) {
-	tb, err := PerNodeState(100, []float64{300, 500}, 7)
+	tb, err := PerNodeState(runner.Parallel(2), 100, []float64{300, 500}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestPerNodeStateConstant(t *testing.T) {
 }
 
 func TestStaticConvergenceLinear(t *testing.T) {
-	tb, fit, err := StaticConvergence(100, []float64{300, 450, 600}, 7)
+	tb, fit, err := StaticConvergence(runner.Parallel(2), 100, []float64{300, 450, 600}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestStaticConvergenceLinear(t *testing.T) {
 }
 
 func TestMessageLocalityConstantPerNode(t *testing.T) {
-	tb, err := MessageLocality(100, []float64{300, 500}, 7)
+	tb, err := MessageLocality(runner.Parallel(2), 100, []float64{300, 500}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +142,7 @@ func TestPerturbationConvergenceLinearish(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow scaling experiment")
 	}
-	tb, fit, err := PerturbationConvergence(100, 700, []float64{170, 400, 600}, 7)
+	tb, fit, err := PerturbationConvergence(runner.Parallel(2), 100, 700, []float64{170, 400, 600}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +164,7 @@ func TestArbitraryStateConvergence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow scaling experiment")
 	}
-	tb, err := ArbitraryStateConvergence(100, 500, []float64{150, 300}, 7)
+	tb, err := ArbitraryStateConvergence(runner.Parallel(2), 100, 500, []float64{150, 300}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestStructureLifetimeFactorGrowsWithNc(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow lifetime experiment")
 	}
-	tb, err := StructureLifetime(100, 260, []float64{30, 18}, 40, 7)
+	tb, err := StructureLifetime(runner.Parallel(2), 100, 260, []float64{30, 18}, 40, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +231,7 @@ func TestHealingLocalityVsSize(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow locality experiment")
 	}
-	tb, err := HealingLocalityVsSize(100, []float64{400, 600}, 7)
+	tb, err := HealingLocalityVsSize(runner.Parallel(2), 100, []float64{400, 600}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +249,7 @@ func TestBigMoveLocality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow mobility experiment")
 	}
-	tb, err := BigMoveLocality(100, 500, []float64{1.5, 2.5}, 7)
+	tb, err := BigMoveLocality(runner.Parallel(2), 100, 500, []float64{1.5, 2.5}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +271,7 @@ func TestVsLEACH(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow comparison")
 	}
-	tb, err := VsLEACH(100, []float64{300, 450}, 7)
+	tb, err := VsLEACH(runner.Parallel(2), 100, []float64{300, 450}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"gs3/internal/core"
 	"gs3/internal/geom"
 	"gs3/internal/netsim"
+	"gs3/internal/runner"
 	"gs3/internal/stats"
 )
 
@@ -14,23 +15,23 @@ import (
 // perturbed area, independent of total network size. For each diameter
 // it clears a disk of the configured network, repopulates it with fresh
 // bootup nodes, and measures the virtual time until the structure is
-// stable again.
-func PerturbationConvergence(r, regionRadius float64, diameters []float64, seed uint64) (Table, stats.Fit, error) {
+// stable again. Diameters run as independent trials on the pool.
+func PerturbationConvergence(p runner.Pool, r, regionRadius float64, diameters []float64, seed uint64) (Table, stats.Fit, error) {
 	t := Table{
 		ID:      "T3",
 		Title:   "Healing time vs perturbed-area diameter (O(Dp))",
 		Columns: []string{"Dp", "healTime", "killed"},
 	}
-	var xs, ys []float64
-	for _, dp := range diameters {
+	rows, err := runner.Map(p, len(diameters), func(i int) ([]float64, error) {
+		dp := diameters[i]
 		opt := netsim.DefaultOptions(r, regionRadius)
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, stats.Fit{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, stats.Fit{}, err
+			return nil, err
 		}
 		s.Net.StartMaintenance(core.VariantD)
 		s.RunSweeps(2)
@@ -77,13 +78,15 @@ func PerturbationConvergence(r, regionRadius float64, diameters []float64, seed 
 			s.RunSweeps(1)
 		}
 		if elapsed < 0 {
-			return Table{}, stats.Fit{}, fmt.Errorf("Dp=%v: %w", dp, netsim.ErrNoConvergence)
+			return nil, fmt.Errorf("Dp=%v: %w", dp, netsim.ErrNoConvergence)
 		}
-		t.Rows = append(t.Rows, []float64{dp, elapsed, float64(killed)})
-		xs = append(xs, dp)
-		ys = append(ys, elapsed)
+		return []float64{dp, elapsed, float64(killed)}, nil
+	})
+	if err != nil {
+		return Table{}, stats.Fit{}, err
 	}
-	fit, err := stats.LinearFit(xs, ys)
+	t.Rows = rows
+	fit, err := stats.LinearFit(t.Column(0), t.Column(1))
 	if err != nil {
 		return Table{}, stats.Fit{}, err
 	}
@@ -94,22 +97,24 @@ func PerturbationConvergence(r, regionRadius float64, diameters []float64, seed 
 // ArbitraryStateConvergence reproduces Appendix 1 row 5 / Theorem 7:
 // starting from a state-corrupted region of diameter D_c, the network
 // re-reaches its invariant in O(D_c). Head ILs inside the disk are
-// displaced; the time to stability is measured.
-func ArbitraryStateConvergence(r, regionRadius float64, diameters []float64, seed uint64) (Table, error) {
+// displaced; the time to stability is measured. Diameters run as
+// independent trials on the pool.
+func ArbitraryStateConvergence(p runner.Pool, r, regionRadius float64, diameters []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "T5",
 		Title:   "Stabilization time vs corrupted-area diameter (O(Dc))",
 		Columns: []string{"Dc", "stabilizeTime", "corruptedHeads"},
 	}
-	for _, dc := range diameters {
+	rows, err := runner.Map(p, len(diameters), func(i int) ([]float64, error) {
+		dc := diameters[i]
 		opt := netsim.DefaultOptions(r, regionRadius)
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		s.Net.StartMaintenance(core.VariantD)
 		s.RunSweeps(2)
@@ -118,10 +123,14 @@ func ArbitraryStateConvergence(r, regionRadius float64, diameters []float64, see
 		n := s.CorruptDisk(center, dc/2, core.CorruptIL, 3*opt.Config.Rt)
 		elapsed, err := s.RunUntilStable(600)
 		if err != nil {
-			return Table{}, fmt.Errorf("Dc=%v: %w", dc, err)
+			return nil, fmt.Errorf("Dc=%v: %w", dc, err)
 		}
-		t.Rows = append(t.Rows, []float64{dc, elapsed, float64(n)})
+		return []float64{dc, elapsed, float64(n)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -131,8 +140,8 @@ func ArbitraryStateConvergence(r, regionRadius float64, diameters []float64, see
 // measures the virtual time until the live head count first drops below
 // half of the initial count, with healing on, and compares it with the
 // no-healing baseline E/(f·rate) where the first-generation heads
-// simply die in place.
-func StructureLifetime(r, regionRadius float64, spacings []float64, energy float64, seed uint64) (Table, error) {
+// simply die in place. Densities run as independent trials on the pool.
+func StructureLifetime(p runner.Pool, r, regionRadius float64, spacings []float64, energy float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "T2",
 		Title:   "Structure lifetime: healing vs static heads (Omega(nc))",
@@ -142,10 +151,10 @@ func StructureLifetime(r, regionRadius float64, spacings []float64, energy float
 			"static baseline: first-generation heads die at E/(f*rate) and nothing heals",
 		},
 	}
-	for _, spacing := range spacings {
+	rows, err := runner.Map(p, len(spacings), func(i int) ([]float64, error) {
 		opt := netsim.DefaultOptions(r, regionRadius)
 		opt.Seed = seed
-		opt.GridSpacing = spacing
+		opt.GridSpacing = spacings[i]
 		// The paper's regime: serving as head dominates energy use
 		// (most in-cell traffic terminates at the head), so rotating
 		// the role spreads the cost over the whole cell.
@@ -154,10 +163,10 @@ func StructureLifetime(r, regionRadius float64, spacings []float64, energy float
 		opt.Config.HeadEnergyFactor = 80               // head drain = energy/5 per sweep
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		nc := s.MeanCellSize()
 		initialHeads := len(s.Net.Snapshot().Heads())
@@ -174,8 +183,12 @@ func StructureLifetime(r, regionRadius float64, spacings []float64, energy float
 			}
 			healed = s.Net.Engine().Now() - start
 		}
-		t.Rows = append(t.Rows, []float64{nc, staticLifetime, healed, healed / staticLifetime})
+		return []float64{nc, staticLifetime, healed, healed / staticLifetime}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -185,7 +198,8 @@ func StructureLifetime(r, regionRadius float64, spacings []float64, energy float
 // consistent. It drains energy until a large share of cells have
 // shifted and reports the neighbor-head distance statistics before and
 // after — Corollary 1's band should still hold (up to the DI
-// relaxation).
+// relaxation). A single-scenario experiment: it runs one trial
+// regardless of the pool.
 func SlideConsistency(r, regionRadius, energy float64, seed uint64) (Table, error) {
 	opt := netsim.DefaultOptions(r, regionRadius)
 	opt.Seed = seed
@@ -237,22 +251,24 @@ func neighborDistStats(s *netsim.Sim) stats.Summary {
 
 // HealingLocalityVsSize shows the locality half of the B1 comparison
 // from the GS³ side: the structural impact radius of healing one head
-// death does not grow with network size.
-func HealingLocalityVsSize(r float64, regionRadii []float64, seed uint64) (Table, error) {
+// death does not grow with network size. Radii run as independent
+// trials on the pool.
+func HealingLocalityVsSize(p runner.Pool, r float64, regionRadii []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "T3b",
 		Title:   "Healing impact radius vs network size (locality)",
 		Columns: []string{"n", "impactRadius", "changedHeads"},
 	}
-	for _, radius := range regionRadii {
+	rows, err := runner.Map(p, len(regionRadii), func(i int) ([]float64, error) {
+		radius := regionRadii[i]
 		opt := netsim.DefaultOptions(r, radius)
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		s.Net.StartMaintenance(core.VariantD)
 		s.RunSweeps(2)
@@ -267,7 +283,7 @@ func HealingLocalityVsSize(r float64, regionRadii []float64, seed uint64) (Table
 		before := s.Net.Snapshot()
 		s.Net.Kill(victim.ID)
 		if _, err := s.RunUntilStable(60); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		after := s.Net.Snapshot()
 		impact := 0.0
@@ -282,7 +298,11 @@ func HealingLocalityVsSize(r float64, regionRadii []float64, seed uint64) (Table
 				}
 			}
 		}
-		t.Rows = append(t.Rows, []float64{float64(s.Net.Medium().Count()), impact, float64(len(changed))})
+		return []float64{float64(s.Net.Medium().Count()), impact, float64(len(changed))}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

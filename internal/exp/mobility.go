@@ -8,6 +8,7 @@ import (
 	"gs3/internal/geom"
 	"gs3/internal/netsim"
 	"gs3/internal/radio"
+	"gs3/internal/runner"
 	"gs3/internal/stats"
 )
 
@@ -15,8 +16,9 @@ import (
 // distance d, the impact on the head graph is contained in a circle of
 // radius √3·d/2 around the segment midpoint. For each d (in multiples
 // of the head spacing) it reports the theoretical bound and the
-// measured containment radii (p90 and max over affected heads).
-func BigMoveLocality(r, regionRadius float64, moveCells []float64, seed uint64) (Table, error) {
+// measured containment radii (p90 and max over affected heads). Move
+// distances run as independent trials on the pool.
+func BigMoveLocality(p runner.Pool, r, regionRadius float64, moveCells []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "M1",
 		Title:   "Big-node move impact containment (Theorem 11)",
@@ -28,15 +30,16 @@ func BigMoveLocality(r, regionRadius float64, moveCells []float64, seed uint64) 
 			"boundaries escapes the idealized bound (see EXPERIMENTS.md)",
 		},
 	}
-	for _, cells := range moveCells {
+	rows, err := runner.Map(p, len(moveCells), func(i int) ([]float64, error) {
+		cells := moveCells[i]
 		opt := netsim.DefaultOptions(r, regionRadius)
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		s.Net.StartMaintenance(core.VariantM)
 		s.RunSweeps(6)
@@ -62,9 +65,13 @@ func BigMoveLocality(r, regionRadius float64, moveCells []float64, seed uint64) 
 		}
 		sort.Float64s(radii)
 		sum := stats.Summarize(radii)
-		t.Rows = append(t.Rows, []float64{
+		return []float64{
 			d, math.Sqrt(3) * d / 2, sum.P50, sum.P90, sum.Max, float64(len(radii)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"gs3/internal/netsim"
 	"gs3/internal/radio"
+	"gs3/internal/runner"
 	"gs3/internal/stats"
 )
 
@@ -12,8 +13,9 @@ import (
 // at each node is a constant number of node identities (θ(log n) bits),
 // irrespective of network size. For each region radius it configures a
 // network and reports n, the mean and maximum number of identities a
-// node stores, split by role.
-func PerNodeState(r float64, regionRadii []float64, seed uint64) (Table, error) {
+// node stores, split by role. Each radius is one independent trial on
+// the pool; rows come back in radius order.
+func PerNodeState(p runner.Pool, r float64, regionRadii []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "T1",
 		Title:   "Per-node state vs network size",
@@ -23,15 +25,15 @@ func PerNodeState(r float64, regionRadii []float64, seed uint64) (Table, error) 
 			"paper: constant per node, so theta(log n) bits",
 		},
 	}
-	for _, radius := range regionRadii {
-		opt := netsim.DefaultOptions(r, radius)
+	rows, err := runner.Map(p, len(regionRadii), func(i int) ([]float64, error) {
+		opt := netsim.DefaultOptions(r, regionRadii[i])
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		snap := s.Net.Snapshot()
 		var headIDs []float64
@@ -46,10 +48,14 @@ func PerNodeState(r float64, regionRadii []float64, seed uint64) (Table, error) 
 				maxIDs = float64(ids)
 			}
 		}
-		t.Rows = append(t.Rows, []float64{
+		return []float64{
 			float64(len(snap.Nodes)), stats.Mean(headIDs), maxIDs, 1,
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -57,29 +63,35 @@ func PerNodeState(r float64, regionRadii []float64, seed uint64) (Table, error) 
 // GS³-S self-configuration completes in θ(D_b) where D_b is the
 // distance from the big node to the farthest small node. It reports
 // the virtual configuration time per region radius and the linear fit.
-func StaticConvergence(r float64, regionRadii []float64, seed uint64) (Table, stats.Fit, error) {
+// Radii run as independent trials on the pool.
+func StaticConvergence(p runner.Pool, r float64, regionRadii []float64, seed uint64) (Table, stats.Fit, error) {
 	t := Table{
 		ID:      "T4",
 		Title:   "Static self-configuration time vs network radius (theta(Db))",
 		Columns: []string{"Db", "time", "n"},
 	}
-	var xs, ys []float64
-	for _, radius := range regionRadii {
+	rows, err := runner.Map(p, len(regionRadii), func(i int) ([]float64, error) {
+		radius := regionRadii[i]
 		opt := netsim.DefaultOptions(r, radius)
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, stats.Fit{}, err
+			return nil, err
 		}
 		elapsed, err := s.Configure()
 		if err != nil {
-			return Table{}, stats.Fit{}, err
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []float64{radius, elapsed, float64(s.Net.Medium().Count())})
-		xs = append(xs, radius)
-		ys = append(ys, elapsed)
+		return []float64{radius, elapsed, float64(s.Net.Medium().Count())}, nil
+	})
+	if err != nil {
+		return Table{}, stats.Fit{}, err
 	}
-	fit, err := stats.LinearFit(xs, ys)
+	t.Rows = rows
+	// Fit inputs are read back from the collected rows rather than
+	// accumulated in closure-shared slices, so the builder has no
+	// cross-trial aliasing whatever the worker count.
+	fit, err := stats.LinearFit(t.Column(0), t.Column(1))
 	if err != nil {
 		return Table{}, stats.Fit{}, err
 	}
@@ -90,30 +102,35 @@ func StaticConvergence(r float64, regionRadii []float64, seed uint64) (Table, st
 // MessageLocality reports, for the same configured networks, the radio
 // traffic per node during configuration — evidence that configuration
 // costs O(1) messages per node regardless of scale (the local
-// coordination claim of §3.3.4).
-func MessageLocality(r float64, regionRadii []float64, seed uint64) (Table, error) {
+// coordination claim of §3.3.4). Radii run as independent trials on
+// the pool.
+func MessageLocality(p runner.Pool, r float64, regionRadii []float64, seed uint64) (Table, error) {
 	t := Table{
 		ID:      "T1b",
 		Title:   "Configuration traffic per node vs network size",
 		Columns: []string{"n", "broadcastsPerNode", "repliesPerNode"},
 	}
-	for _, radius := range regionRadii {
-		opt := netsim.DefaultOptions(r, radius)
+	rows, err := runner.Map(p, len(regionRadii), func(i int) ([]float64, error) {
+		opt := netsim.DefaultOptions(r, regionRadii[i])
 		opt.Seed = seed
 		s, err := netsim.Build(opt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		if _, err := s.Configure(); err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		n := float64(s.Net.Medium().Count())
 		var st radio.Stats = s.Net.Medium().Stats()
-		t.Rows = append(t.Rows, []float64{
+		return []float64{
 			n,
 			float64(st.Broadcasts) / n,
 			float64(s.Net.Metrics().ReplyMessages) / n,
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }

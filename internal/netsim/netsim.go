@@ -2,6 +2,16 @@
 // radio, and the GS³ protocol into runnable scenarios, injects the
 // paper's perturbations, and measures convergence times and the
 // geographic footprint of healing.
+//
+// # Concurrency
+//
+// A Sim is single-threaded by construction: it wraps one sim.Engine,
+// one core.Network, and one rng.Source, none of which lock. Build each
+// trial its own Sim and drive it from one goroutine only. Sims built
+// from independent Options (even identical ones) share no state, so
+// any number of trials may run concurrently on separate goroutines —
+// that is exactly what internal/runner does. Identical Options with
+// identical seeds produce identical results on any schedule.
 package netsim
 
 import (
@@ -16,7 +26,10 @@ import (
 	"gs3/internal/rng"
 )
 
-// Options describes a scenario.
+// Options describes a scenario. Options is plain data: copy it freely
+// and hand each trial its own copy (with its own Seed) — a copy shares
+// nothing with the original except the Gaps backing array, which Build
+// only reads.
 type Options struct {
 	Config core.Config
 	Radio  radio.Params
@@ -54,6 +67,11 @@ func DefaultOptions(r, regionRadius float64) Options {
 }
 
 // Sim wraps a network with its deployment and measurement helpers.
+//
+// A Sim is not safe for concurrent use: exactly one goroutine may
+// drive it (configure, perturb, measure) at a time, the same ownership
+// rule as the sim.Engine it contains. Distinct Sims are fully
+// independent and may run in parallel.
 type Sim struct {
 	Net *core.Network
 	Dep field.Deployment
@@ -61,7 +79,9 @@ type Sim struct {
 	Src *rng.Source
 }
 
-// Build creates the network (unconfigured) from the options.
+// Build creates the network (unconfigured) from the options. Every
+// call allocates a fresh engine, medium, and RNG, so concurrent Build
+// calls (and the Sims they return) never contend.
 func Build(opt Options) (*Sim, error) {
 	src := rng.New(opt.Seed)
 	var dep field.Deployment
@@ -113,6 +133,7 @@ func (s *Sim) RunSweeps(n int) {
 }
 
 // ErrNoConvergence is returned when a fixpoint is not reached in time.
+// It is a sentinel for errors.Is; never mutated after init.
 var ErrNoConvergence = fmt.Errorf("netsim: no convergence within the deadline")
 
 // RunToFixpoint runs maintenance sweeps until the (mode) fixpoint holds
@@ -245,6 +266,8 @@ func (s *Sim) HeadSet() map[radio.NodeID]bool {
 // StructureDiff compares the current head set and parent assignments
 // against a snapshot taken earlier and returns the IDs of heads whose
 // role or parent changed (appeared, disappeared, or re-parented).
+// It only reads its arguments; snapshots are immutable, so the
+// function is safe to call from any goroutine.
 func StructureDiff(before, after core.Snapshot) []radio.NodeID {
 	type headInfo struct {
 		parent radio.NodeID

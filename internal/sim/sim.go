@@ -5,6 +5,17 @@
 // Events are ordered by time with a stable sequence-number tie-break so
 // that runs are fully deterministic: two events scheduled for the same
 // instant fire in scheduling order.
+//
+// # Concurrency
+//
+// The engine is deliberately single-threaded: an Engine, the events it
+// fires, and every Handle it hands out must be owned by exactly one
+// goroutine for the engine's whole lifetime. Nothing in this package
+// locks, and nothing may be shared. Determinism depends on this — a
+// second goroutine touching the queue would make the event order (and
+// therefore every simulation result) scheduling-dependent. Parallelism
+// lives one level up: run many engines, one per independent trial,
+// each on its own goroutine (see internal/runner).
 package sim
 
 import (
@@ -13,10 +24,12 @@ import (
 	"math"
 )
 
-// Time is a virtual-time instant in abstract seconds.
+// Time is a virtual-time instant in abstract seconds. It is a plain
+// value; copies are independent.
 type Time = float64
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Events belong to the engine that
+// queued them and must only be touched from the engine's goroutine.
 type Event struct {
 	At   Time
 	Name string // for tracing; not used by the engine
@@ -27,7 +40,9 @@ type Event struct {
 	canceled bool
 }
 
-// Handle allows a scheduled event to be canceled before it fires.
+// Handle allows a scheduled event to be canceled before it fires. A
+// Handle is bound to its engine's goroutine: Cancel and Canceled must
+// not be called concurrently with the engine running.
 type Handle struct {
 	ev *Event
 }
@@ -78,6 +93,12 @@ func (q *eventQueue) Pop() any {
 var ErrEventInPast = errors.New("sim: event scheduled in the past")
 
 // Engine is a deterministic discrete-event scheduler.
+//
+// An Engine is not safe for concurrent use: all scheduling, stepping,
+// and querying must happen on the single goroutine that owns the
+// engine. One simulation trial owns one engine; independent trials on
+// separate goroutines (each with their own Engine) need no
+// synchronization because engines share no state.
 type Engine struct {
 	now     Time
 	queue   eventQueue
