@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench smoke check
+.PHONY: all build vet test race bench bench-json smoke check
 
 all: check
 
@@ -25,6 +25,15 @@ race:
 # The paper's tables, regenerated serially (comparable ns/op).
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Archive the perf-sensitive micro/macro benchmarks into BENCH_PR2.json
+# under the "post-pr2" label (see cmd/benchjson). Override RUN to record
+# a different label, e.g. `make bench-json RUN=pre-pr3`.
+RUN ?= post-pr2
+bench-json:
+	$(GO) test -bench='ConfigureStructure|WithinRange|Broadcast|SweepSteadyState|InvariantCheck' \
+		-benchmem -run='^$$' . ./internal/radio | \
+		$(GO) run ./cmd/benchjson -file BENCH_PR2.json -run $(RUN)
 
 # Parallel-vs-serial scaling-sweep smoke benchmark only.
 smoke:

@@ -283,6 +283,28 @@ func BenchmarkMaintenanceSweepRound(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepSteadyState measures heartbeat rounds once the
+// structure has settled: after warm-up sweeps every cell is stable, so
+// the per-round work is pure re-verification — the regime where the
+// reusable query buffers matter most. Run with -benchmem: the allocs/op
+// here is the steady-state cost of the whole maintenance stack.
+func BenchmarkSweepSteadyState(b *testing.B) {
+	s, err := netsim.Build(netsim.DefaultOptions(100, 400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		b.Fatal(err)
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	s.RunSweeps(5) // settle: first rounds still strengthen cells
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunSweeps(1)
+	}
+}
+
 // BenchmarkSnapshot measures the cost of capturing a full network
 // snapshot (the observability path used by all checks).
 func BenchmarkSnapshot(b *testing.B) {

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON record, so performance PRs can archive their
+// before/after numbers next to the code (see BENCH_PR2.json).
+//
+// It reads benchmark output on stdin, extracts name → {ns/op, B/op,
+// allocs/op} for every benchmark line, and merges the result into the
+// JSON file under the given run label:
+//
+//	go test -bench='WithinRange|ConfigureStructure' -benchmem |
+//	    go run ./cmd/benchjson -file BENCH_PR2.json -run post-pr2
+//
+// The file accumulates runs — e.g. "pre-pr2" captured before an
+// optimization and "post-pr2" after — so a reviewer can diff the two
+// without re-running anything. Existing runs with other labels are
+// preserved; re-using a label overwrites that run only.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is one benchmark's measurements. B/op and allocs/op are
+// pointers because they only appear with -benchmem.
+type metric struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// document is the schema of the output file: a label → benchmarks map
+// plus a schema tag so future tooling can detect format changes.
+type document struct {
+	Schema string                       `json:"schema"`
+	Runs   map[string]map[string]metric `json:"runs"`
+}
+
+const schemaTag = "gs3-bench-v1"
+
+func main() {
+	file := flag.String("file", "BENCH_PR2.json", "JSON file to create or merge into")
+	run := flag.String("run", "run", "label for this benchmark run")
+	flag.Parse()
+
+	parsed, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(parsed) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	doc := document{Schema: schemaTag, Runs: map[string]map[string]metric{}}
+	if raw, err := os.ReadFile(*file); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %w", *file, err))
+		}
+		if doc.Schema != schemaTag {
+			fatal(fmt.Errorf("%s: schema %q, want %q", *file, doc.Schema, schemaTag))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+	if doc.Runs == nil {
+		doc.Runs = map[string]map[string]metric{}
+	}
+	doc.Runs[*run] = parsed
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(parsed))
+	for n := range parsed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: run %q, %d benchmarks: %s\n", *file, *run, len(names), strings.Join(names, ", "))
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// A benchmark line looks like:
+//
+//	BenchmarkWithinRange/append-8   301254  3937 ns/op  0 B/op  0 allocs/op
+//
+// i.e. name, iteration count, then unit-suffixed value pairs. The
+// -NCPU suffix is stripped from the name so labels are stable across
+// machines.
+func parseBench(r *os.File) (map[string]metric, error) {
+	out := map[string]metric{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := metric{NsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				b := v
+				m.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				m.AllocsPerOp = &a
+			}
+		}
+		if m.NsPerOp >= 0 {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

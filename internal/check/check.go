@@ -10,6 +10,7 @@ package check
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"gs3/internal/core"
 	"gs3/internal/geom"
@@ -53,22 +54,75 @@ func (r *Result) addf(clause string, node radio.NodeID, format string, args ...a
 	})
 }
 
-// index provides O(1) lookups over a snapshot.
+// index provides O(1) lookups over a snapshot: per-node views, the
+// head list, per-head member lists, and a head-position grid that
+// answers "which heads are near p" in output-sensitive time, so the
+// neighbor-band clauses cost O(heads) overall instead of O(heads²).
 type index struct {
-	snap  core.Snapshot
-	views map[radio.NodeID]core.NodeView
-	heads []core.NodeView
+	snap    core.Snapshot
+	views   map[radio.NodeID]core.NodeView
+	heads   []core.NodeView
+	members map[radio.NodeID][]radio.NodeID
+
+	// headGrid buckets indices into heads by position; cell is the
+	// bucket edge (the neighbor-band radius, so band queries scan a
+	// 3×3 ring). nearBuf is the reusable result buffer of headsNear.
+	headGrid map[gridKey][]int
+	cell     float64
+	nearBuf  []int
 }
 
+type gridKey struct{ x, y int }
+
 func newIndex(s core.Snapshot) *index {
-	ix := &index{snap: s, views: make(map[radio.NodeID]core.NodeView, len(s.Nodes))}
+	ix := &index{
+		snap:    s,
+		views:   make(map[radio.NodeID]core.NodeView, len(s.Nodes)),
+		members: make(map[radio.NodeID][]radio.NodeID),
+		cell:    s.Config.NeighborDistMax(),
+	}
 	for _, v := range s.Nodes {
 		ix.views[v.ID] = v
 		if v.IsHead() {
 			ix.heads = append(ix.heads, v)
 		}
+		if v.Status == core.StatusAssociate {
+			ix.members[v.Head] = append(ix.members[v.Head], v.ID)
+		}
+	}
+	ix.headGrid = make(map[gridKey][]int, len(ix.heads))
+	for i, h := range ix.heads {
+		k := ix.keyOf(h.Pos)
+		ix.headGrid[k] = append(ix.headGrid[k], i)
 	}
 	return ix
+}
+
+func (ix *index) keyOf(p geom.Point) gridKey {
+	return gridKey{int(math.Floor(p.X / ix.cell)), int(math.Floor(p.Y / ix.cell))}
+}
+
+// headsNear returns the indices (into ix.heads) of all heads within
+// dist of p, in ascending index order — which is ascending ID order,
+// because heads is built from the ID-sorted snapshot. The slice aliases
+// the index's scratch buffer: it is valid until the next headsNear
+// call. A head exactly at p (e.g. the query head itself) is included.
+func (ix *index) headsNear(p geom.Point, dist float64) []int {
+	ix.nearBuf = ix.nearBuf[:0]
+	r := int(math.Ceil(dist / ix.cell))
+	r2 := dist * dist
+	base := ix.keyOf(p)
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for _, i := range ix.headGrid[gridKey{base.x + dx, base.y + dy}] {
+				if ix.heads[i].Pos.Dist2(p) <= r2 {
+					ix.nearBuf = append(ix.nearBuf, i)
+				}
+			}
+		}
+	}
+	slices.Sort(ix.nearBuf)
+	return ix.nearBuf
 }
 
 // isBoundary reports whether head h is a boundary cell head: one with
@@ -78,11 +132,8 @@ func newIndex(s core.Snapshot) *index {
 func (ix *index) isBoundary(h core.NodeView) bool {
 	cfg := ix.snap.Config
 	count := 0
-	for _, o := range ix.heads {
-		if o.ID == h.ID {
-			continue
-		}
-		if h.Pos.Dist(o.Pos) <= cfg.NeighborDistMax()+1e-9 {
+	for _, oi := range ix.headsNear(h.Pos, cfg.NeighborDistMax()+1e-9) {
+		if ix.heads[oi].ID != h.ID {
 			count++
 		}
 	}
@@ -170,15 +221,14 @@ func checkI2(ix *index, mode Mode, r *Result) {
 			r.addf("I2.0", h.ID, "head %.3g from its IL (Rt=%.3g)", d, cfg.Rt)
 		}
 
-		// I2.1 / I2.2: neighbor-head distances.
-		for _, o := range ix.heads {
+		// I2.1 / I2.2: neighbor-head distances. The grid returns the
+		// in-band heads directly, ascending by ID like the full scan did.
+		for _, oi := range ix.headsNear(h.Pos, hi+1e-9) {
+			o := ix.heads[oi]
 			if o.ID == h.ID {
 				continue
 			}
 			d := h.Pos.Dist(o.Pos)
-			if d > hi+1e-9 {
-				continue // not a neighbor
-			}
 			if mode == Dynamic && o.Spiral != h.Spiral {
 				// Relaxed DI bound: distance tracks the IL distance
 				// within ±2Rt, and IL distance stays in (0, 2√3R).
@@ -226,7 +276,7 @@ func checkI2(ix *index, mode Mode, r *Result) {
 		if boundary {
 			bound = cfg.HeadSpacing() + 2*cfg.Rt
 		}
-		for _, m := range ix.snap.Members(h.ID) {
+		for _, m := range ix.members[h.ID] {
 			mv := ix.views[m]
 			if d := mv.Pos.Dist(h.Pos); d > bound+1e-9 && !boundary {
 				r.addf("I2.4", m, "associate %.4g from head %d, bound %.4g", d, h.ID, bound)
@@ -260,8 +310,11 @@ func checkI3(ix *index, mode Mode, r *Result) {
 		if ix.isBoundary(hv) {
 			continue
 		}
+		// Any head beating the chosen one lies within chosen of the
+		// associate, so the grid query bounds the scan.
 		chosen := v.Pos.Dist(hv.Pos)
-		for _, o := range ix.heads {
+		for _, oi := range ix.headsNear(v.Pos, chosen) {
+			o := ix.heads[oi]
 			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
 				r.addf("I3", v.ID, "head %d at %.4g closer than chosen %d at %.4g", o.ID, d, v.Head, chosen)
 				break
@@ -296,7 +349,8 @@ func checkF3(ix *index, r *Result) {
 			continue // reported by I3 already
 		}
 		chosen := v.Pos.Dist(hv.Pos)
-		for _, o := range ix.heads {
+		for _, oi := range ix.headsNear(v.Pos, chosen) {
+			o := ix.heads[oi]
 			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
 				r.addf("F3", v.ID, "head %d at %.4g closer than chosen %.4g", o.ID, d, chosen)
 				break
@@ -327,25 +381,40 @@ func checkF4(ix *index, r *Result) {
 }
 
 // connectedTo computes the set of nodes connected to start in the
-// physical graph where nodes within txRange share an edge.
+// physical graph where nodes within txRange share an edge. Nodes are
+// bucketed into a txRange-sized grid so each BFS hop scans only the
+// 3×3 ring around the current node instead of every node.
 func connectedTo(s core.Snapshot, start radio.NodeID, txRange float64) map[radio.NodeID]bool {
+	key := func(p geom.Point) gridKey {
+		return gridKey{int(math.Floor(p.X / txRange)), int(math.Floor(p.Y / txRange))}
+	}
 	pos := make(map[radio.NodeID]geom.Point, len(s.Nodes))
+	grid := make(map[gridKey][]radio.NodeID, len(s.Nodes))
 	for _, v := range s.Nodes {
 		pos[v.ID] = v.Pos
+		k := key(v.Pos)
+		grid[k] = append(grid[k], v.ID)
 	}
 	reach := map[radio.NodeID]bool{}
 	if _, ok := pos[start]; !ok {
 		return reach
 	}
+	r2 := txRange * txRange
 	queue := []radio.NodeID{start}
 	reach[start] = true
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for id, p := range pos {
-			if !reach[id] && p.Dist(pos[cur]) <= txRange {
-				reach[id] = true
-				queue = append(queue, id)
+		cp := pos[cur]
+		base := key(cp)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, id := range grid[gridKey{base.x + dx, base.y + dy}] {
+					if !reach[id] && pos[id].Dist2(cp) <= r2 {
+						reach[id] = true
+						queue = append(queue, id)
+					}
+				}
 			}
 		}
 	}
@@ -371,15 +440,16 @@ func checkMinDistTree(ix *index, r *Result) {
 		cur := queue[0]
 		queue = queue[1:]
 		cv := ix.views[cur]
-		for _, o := range ix.heads {
+		// The band query is fully consumed before the next headsNear
+		// call (next queue pop), so the scratch-backed slice is safe.
+		for _, oi := range ix.headsNear(cv.Pos, cfg.NeighborDistMax()+1e-9) {
+			o := ix.heads[oi]
 			if o.ID == cur {
 				continue
 			}
-			if cv.Pos.Dist(o.Pos) <= cfg.NeighborDistMax()+1e-9 {
-				if _, seen := dist[o.ID]; !seen {
-					dist[o.ID] = dist[cur] + 1
-					queue = append(queue, o.ID)
-				}
+			if _, seen := dist[o.ID]; !seen {
+				dist[o.ID] = dist[cur] + 1
+				queue = append(queue, o.ID)
 			}
 		}
 	}
@@ -426,9 +496,11 @@ func Stats(s core.Snapshot) StructureStats {
 		}
 	}
 	for i, h := range ix.heads {
-		for _, o := range ix.heads[i+1:] {
-			if d := h.Pos.Dist(o.Pos); d <= cfg.NeighborDistMax()+1e-9 {
-				st.NeighborDists = append(st.NeighborDists, d)
+		// Grid-pruned upper-triangle scan: oi > i keeps each pair once,
+		// in the same (i ascending, then j ascending) order as before.
+		for _, oi := range ix.headsNear(h.Pos, cfg.NeighborDistMax()+1e-9) {
+			if oi > i {
+				st.NeighborDists = append(st.NeighborDists, h.Pos.Dist(ix.heads[oi].Pos))
 			}
 		}
 	}

@@ -151,14 +151,16 @@ func (nw *Network) ilConflicts(il geom.Point) bool {
 }
 
 // caOf returns CA(il): the small nodes within Rt of il (HEAD_SELECT
-// Step 3).
+// Step 3). The result aliases the network's caBuf scratch: it is valid
+// until the next caOf call and must not be retained.
 func (nw *Network) caOf(il geom.Point, smallNodes []radio.NodeID) []radio.NodeID {
-	var out []radio.NodeID
+	out := nw.caBuf[:0]
 	for _, id := range smallNodes {
 		if nw.Position(id).Dist(il) <= nw.cfg.Rt {
 			out = append(out, id)
 		}
 	}
+	nw.caBuf = out
 	return out
 }
 

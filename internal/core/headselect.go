@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"gs3/internal/geom"
 	"gs3/internal/radio"
@@ -73,16 +73,32 @@ type Ranked struct {
 // with node ID as a final deterministic tie-break (two nodes at the
 // exact same position are not distinguishable geometrically).
 func rankKeyLess(a, b Ranked) bool {
-	if a.D != b.D {
-		return a.D < b.D
+	return rankKeyCmp(a, b) < 0
+}
+
+// rankKeyCmp is rankKeyLess as a three-way comparison for slices.SortFunc.
+// The key is total (ID breaks every tie), so the sort is deterministic.
+func rankKeyCmp(a, b Ranked) int {
+	switch {
+	case a.D != b.D:
+		return cmpFloat(a.D, b.D)
+	case a.AbsA != b.AbsA:
+		return cmpFloat(a.AbsA, b.AbsA)
+	case a.A != b.A:
+		return cmpFloat(a.A, b.A)
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
 	}
-	if a.AbsA != b.AbsA {
-		return a.AbsA < b.AbsA
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	if a < b {
+		return -1
 	}
-	if a.A != b.A {
-		return a.A < b.A
-	}
-	return a.ID < b.ID
+	return 1
 }
 
 // RankCandidates orders the nodes in CA(il) — candidates for heading the
@@ -101,7 +117,7 @@ func RankCandidates(il geom.Point, gr float64, ids []radio.NodeID, pos func(radi
 		}
 		out = append(out, Ranked{ID: id, D: il.Dist(p), AbsA: math.Abs(a), A: a})
 	}
-	sort.Slice(out, func(i, j int) bool { return rankKeyLess(out[i], out[j]) })
+	slices.SortFunc(out, rankKeyCmp)
 	return out
 }
 

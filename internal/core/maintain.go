@@ -228,18 +228,15 @@ func (nw *Network) ilDeviatesTooMuch(h *Node, il geom.Point) bool {
 
 // cellMembers returns the nodes eligible to serve cell h: its alive
 // associates and any bootup node within the cell's coverage.
+// The result aliases the network's scratch buffer (see filterQuery).
 func (nw *Network) cellMembers(h *Node) []radio.NodeID {
-	var out []radio.NodeID
-	for _, id := range nw.med.WithinRange(h.OIL, nw.cfg.R+nw.cfg.Rt, h.ID) {
-		n := nw.nodes[id]
-		if n == nil || !nw.Alive(id) || n.IsBig {
-			continue
+	hid := h.ID
+	return nw.filterQuery(h.OIL, nw.cfg.R+nw.cfg.Rt, hid, func(n *Node) bool {
+		if n.IsBig || !nw.Alive(n.ID) {
+			return false
 		}
-		if (n.Status == StatusAssociate && n.Head == h.ID) || n.Status == StatusBootup {
-			out = append(out, id)
-		}
-	}
-	return out
+		return (n.Status == StatusAssociate && n.Head == hid) || n.Status == StatusBootup
+	})
 }
 
 // transferHeadRole moves the entire cell-head state from old to new:
@@ -359,13 +356,9 @@ func (nw *Network) associateIntraCell(n *Node) {
 func (nw *Network) electFromCandidates(detector *Node) {
 	deadHead := detector.Head
 	il := detector.CellIL
-	var candidates []radio.NodeID
-	for _, id := range nw.med.WithinRange(il, nw.cfg.Rt, radio.None) {
-		c := nw.nodes[id]
-		if c != nil && nw.Alive(id) && c.Status == StatusAssociate && c.Head == deadHead {
-			candidates = append(candidates, id)
-		}
-	}
+	candidates := nw.filterQuery(il, nw.cfg.Rt, radio.None, func(c *Node) bool {
+		return nw.Alive(c.ID) && c.Status == StatusAssociate && c.Head == deadHead
+	})
 	best, ok := BestCandidate(il, nw.cfg.GR, candidates, nw.Position)
 	if !ok {
 		detector.becomeBootup()
@@ -401,11 +394,17 @@ func (nw *Network) headInterCell(h *Node) {
 	cfg := nw.cfg
 
 	// head_inter_alive: the neighbor set is re-derived from the medium
-	// every sweep, which makes it self-stabilizing by construction.
+	// every sweep, which makes it self-stabilizing by construction. The
+	// query result aliases the network scratch buffer, so it is copied
+	// into the node's own (capacity-reused) Neighbors slice.
 	pos := nw.Position(h.ID)
 	neighbors := nw.headRoleAt(pos, cfg.SearchRadius())
-	neighbors = removeID(neighbors, h.ID)
-	h.Neighbors = neighbors
+	h.Neighbors = h.Neighbors[:0]
+	for _, id := range neighbors {
+		if id != h.ID {
+			h.Neighbors = append(h.Neighbors, id)
+		}
+	}
 
 	// Children list hygiene: drop entries that are no longer heads.
 	lostChild := false

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"gs3/internal/trace"
 
@@ -48,6 +48,22 @@ type Network struct {
 	maintaining bool
 	variant     Variant
 
+	// sortedIDs caches the ascending ID list served by SortedIDs; nil
+	// means stale. The ID set only grows (AddNode); Kill marks nodes
+	// dead but keeps them listed.
+	sortedIDs []radio.NodeID
+
+	// queryBuf is the reusable scratch buffer behind headRoleAt,
+	// Associates, Candidates, and the other medium-query filters: their
+	// results alias it, so steady-state membership queries allocate
+	// nothing. See those methods for the aliasing contract.
+	queryBuf []radio.NodeID
+
+	// caBuf is the scratch behind caOf. It is separate from queryBuf
+	// because HEAD_ORG evaluates CA(il) while holding headRoleAt
+	// results for the same IL loop iteration.
+	caBuf []radio.NodeID
+
 	// tracer, when set, records protocol events.
 	tracer *trace.Log
 }
@@ -85,6 +101,7 @@ func (nw *Network) AddNode(p geom.Point, big bool) (radio.NodeID, error) {
 	nw.nextID++
 	n := NewNode(id, big, nw.cfg.InitialEnergy)
 	nw.nodes[id] = n
+	nw.sortedIDs = nil // invalidate the SortedIDs cache
 	nw.med.Place(id, p)
 	if big {
 		nw.bigID = id
@@ -126,58 +143,71 @@ func (nw *Network) Alive(id radio.NodeID) bool {
 }
 
 // SortedIDs returns all node IDs (including dead ones) in ascending
-// order; deterministic iteration order for sweeps and snapshots.
+// order; deterministic iteration order for sweeps and snapshots. The
+// returned slice is a cache owned by the network: callers must not
+// modify it, and it is valid until the next AddNode/Join.
 func (nw *Network) SortedIDs() []radio.NodeID {
-	out := make([]radio.NodeID, 0, len(nw.nodes))
-	for id := range nw.nodes {
-		out = append(out, id)
+	if nw.sortedIDs == nil {
+		ids := make([]radio.NodeID, 0, len(nw.nodes))
+		for id := range nw.nodes {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		nw.sortedIDs = ids
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return nw.sortedIDs
 }
 
-// headRoleAt returns the alive head-role nodes within dist of p.
-func (nw *Network) headRoleAt(p geom.Point, dist float64) []radio.NodeID {
-	var out []radio.NodeID
-	for _, id := range nw.med.WithinRange(p, dist, radio.None) {
-		if n := nw.nodes[id]; n != nil && n.Status.IsHeadRole() {
+// filterQuery runs a range query into the network's scratch buffer and
+// keeps, in place, only the IDs that satisfy keep. The result aliases
+// queryBuf: it is valid until the next filterQuery-backed call, and
+// callers that retain it (e.g. into node state) must copy it out. None
+// of the keep predicates below touch the medium, so a result is never
+// clobbered while it is being built.
+func (nw *Network) filterQuery(p geom.Point, dist float64, exclude radio.NodeID, keep func(*Node) bool) []radio.NodeID {
+	nw.queryBuf = nw.med.WithinRangeAppend(nw.queryBuf[:0], p, dist, exclude)
+	out := nw.queryBuf[:0]
+	for _, id := range nw.queryBuf {
+		if n := nw.nodes[id]; n != nil && keep(n) {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
+// headRoleAt returns the alive head-role nodes within dist of p.
+// The result aliases the network's scratch buffer (see filterQuery).
+func (nw *Network) headRoleAt(p geom.Point, dist float64) []radio.NodeID {
+	return nw.filterQuery(p, dist, radio.None, func(n *Node) bool {
+		return n.Status.IsHeadRole()
+	})
+}
+
 // Associates returns the alive associates of head h (nodes whose Head
 // field names h), found by a local range query around h's cell.
+// The result aliases the network's scratch buffer (see filterQuery).
 func (nw *Network) Associates(h radio.NodeID) []radio.NodeID {
 	hn := nw.nodes[h]
 	if hn == nil {
 		return nil
 	}
 	// Members can be up to √3R+2Rt from the IL in perturbed cells.
-	var out []radio.NodeID
-	for _, id := range nw.med.WithinRange(hn.IL, nw.cfg.SearchRadius(), h) {
-		if n := nw.nodes[id]; n != nil && n.Status == StatusAssociate && n.Head == h {
-			out = append(out, id)
-		}
-	}
-	return out
+	return nw.filterQuery(hn.IL, nw.cfg.SearchRadius(), h, func(n *Node) bool {
+		return n.Status == StatusAssociate && n.Head == h
+	})
 }
 
 // Candidates returns the alive associates of h within Rt of h's current
 // IL — the head-candidate set of §4.1.
+// The result aliases the network's scratch buffer (see filterQuery).
 func (nw *Network) Candidates(h radio.NodeID) []radio.NodeID {
 	hn := nw.nodes[h]
 	if hn == nil {
 		return nil
 	}
-	var out []radio.NodeID
-	for _, id := range nw.med.WithinRange(hn.IL, nw.cfg.Rt, h) {
-		if n := nw.nodes[id]; n != nil && n.Status == StatusAssociate && n.Head == h {
-			out = append(out, id)
-		}
-	}
-	return out
+	return nw.filterQuery(hn.IL, nw.cfg.Rt, h, func(n *Node) bool {
+		return n.Status == StatusAssociate && n.Head == h
+	})
 }
 
 // Kill removes a node from the network abruptly (fail-stop / death).
@@ -188,6 +218,10 @@ func (nw *Network) Kill(id radio.NodeID) {
 		return
 	}
 	n.Status = StatusDead
+	// Dead nodes stay listed by SortedIDs (the nodes map keeps them),
+	// so the cache stays correct across Kill; it is dropped anyway so
+	// the lifetime contract is simply "valid until the network changes".
+	nw.sortedIDs = nil
 	nw.emit(trace.KindDeath, id, radio.None, nw.Position(id))
 	nw.med.Remove(id)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"gs3/internal/geom"
 	"gs3/internal/hexlat"
 	"gs3/internal/radio"
@@ -36,7 +38,12 @@ type Snapshot struct {
 	Config Config
 	Time   float64
 	BigID  radio.NodeID
-	Nodes  []NodeView // ascending ID; dead nodes excluded
+	// Nodes holds the views in strictly ascending ID order with dead
+	// nodes excluded. The ordering is load-bearing: View binary-searches
+	// it, and the invariant checker's indexes rely on it for
+	// deterministic iteration. Network.Snapshot builds it from
+	// SortedIDs, which guarantees the order.
+	Nodes []NodeView
 }
 
 // Snapshot captures the current network state. Dead nodes are omitted:
@@ -80,14 +87,16 @@ func (s Snapshot) Heads() []NodeView {
 	return out
 }
 
-// View returns the view of node id, or (zero, false).
+// View returns the view of node id, or (zero, false). It binary-searches
+// Nodes, which is ascending by ID by construction.
 func (s Snapshot) View(id radio.NodeID) (NodeView, bool) {
-	for _, v := range s.Nodes {
-		if v.ID == id {
-			return v, true
-		}
+	i, ok := slices.BinarySearchFunc(s.Nodes, id, func(v NodeView, id radio.NodeID) int {
+		return int(v.ID - id)
+	})
+	if !ok {
+		return NodeView{}, false
 	}
-	return NodeView{}, false
+	return s.Nodes[i], true
 }
 
 // Members returns the IDs of the associates of head id in this

@@ -62,6 +62,32 @@ func TestParallelSerialDeterminism(t *testing.T) {
 	}
 }
 
+// TestMaintenanceDeterminism pins the sweep-and-heal path (T3): unlike
+// the configuration-only sweeps above, it drives maintenance rounds
+// that exercise the spatial-query scratch buffers (cell membership,
+// candidate election, head neighbor rebuilds) with failures injected
+// mid-run. Serial and parallel pools must still format identically —
+// the scratch buffers are per-Medium, so concurrent trials share no
+// query state.
+func TestMaintenanceDeterminism(t *testing.T) {
+	par := runner.Parallel(4)
+	diameters := []float64{120, 170}
+	for _, seed := range []uint64{5, 9} {
+		serial, _, err := PerturbationConvergence(runner.Seq, 100, 350, diameters, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		parallel, _, err := PerturbationConvergence(par, 100, 350, diameters, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if serial.Format() != parallel.Format() {
+			t.Errorf("seed %d: T3 tables differ:\n--- serial ---\n%s--- parallel ---\n%s",
+				seed, serial.Format(), parallel.Format())
+		}
+	}
+}
+
 // TestSweepErrorPropagation checks that a failing trial inside an
 // experiment surfaces as an ordinary error (wrapped with its trial
 // index) rather than a partial table, for serial and parallel pools

@@ -2,7 +2,7 @@ package live
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"gs3/internal/core"
@@ -182,7 +182,7 @@ func RunDynamic(cfg core.Config, dep field.Deployment, kills KillSchedule, round
 			Head: n.myHead, Candidate: n.candidate,
 		})
 	}
-	sort.Slice(res.Final, func(i, j int) bool { return res.Final[i].ID < res.Final[j].ID })
+	slices.SortFunc(res.Final, func(a, b Report) int { return int(a.ID - b.ID) })
 	return res, nil
 }
 
@@ -205,7 +205,7 @@ func (n *dynNode) drain() {
 		case m := <-n.inbox:
 			n.got = append(n.got, m)
 		default:
-			sort.Slice(n.got, func(i, j int) bool { return n.got[i].From < n.got[j].From })
+			slices.SortFunc(n.got, func(a, b dynMsg) int { return int(a.From - b.From) })
 			return
 		}
 	}

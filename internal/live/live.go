@@ -16,7 +16,7 @@ package live
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"gs3/internal/core"
@@ -260,7 +260,7 @@ func Run(cfg core.Config, dep field.Deployment) (Result, error) {
 	for rep := range reports {
 		res.Reports = append(res.Reports, rep)
 	}
-	sort.Slice(res.Reports, func(i, j int) bool { return res.Reports[i].ID < res.Reports[j].ID })
+	slices.SortFunc(res.Reports, func(a, b Report) int { return int(a.ID - b.ID) })
 	return res, nil
 }
 
@@ -393,7 +393,7 @@ func (n *liveNode) headOrg(cfg core.Config, r *router, completions chan<- int) {
 			smallInSector = append(smallInSector, rep.id)
 		}
 	}
-	sort.Slice(smallInSector, func(i, j int) bool { return smallInSector[i] < smallInSector[j] })
+	slices.Sort(smallInSector)
 
 	var selected []selection
 	taken := map[radio.NodeID]bool{}

@@ -224,8 +224,11 @@ func (s *Sim) RepopulateDisk(c geom.Point, radius, spacing float64) []radio.Node
 
 // CorruptDisk corrupts the state of every head within radius of c.
 func (s *Sim) CorruptDisk(c geom.Point, radius float64, kind core.CorruptionKind, delta float64) int {
+	// One snapshot for the whole pass: Corrupt mutates live node state,
+	// and a per-head re-snapshot would cost O(n) each.
+	snap := s.Net.Snapshot()
 	n := 0
-	for _, h := range s.Net.Snapshot().Heads() {
+	for _, h := range snap.Heads() {
 		if h.IsBig {
 			continue
 		}
@@ -256,8 +259,9 @@ func (s *Sim) TrafficFootprint(center geom.Point, fn func()) float64 {
 
 // HeadSet returns the set of current head IDs.
 func (s *Sim) HeadSet() map[radio.NodeID]bool {
-	out := map[radio.NodeID]bool{}
-	for _, h := range s.Net.Snapshot().Heads() {
+	snap := s.Net.Snapshot()
+	out := make(map[radio.NodeID]bool, len(snap.Nodes))
+	for _, h := range snap.Heads() {
 		out[h.ID] = true
 	}
 	return out

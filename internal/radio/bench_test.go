@@ -1,0 +1,103 @@
+package radio
+
+import (
+	"testing"
+
+	"gs3/internal/geom"
+)
+
+// benchMedium builds a 40×40 grid of nodes with 25-unit spacing, so a
+// 100-radius query sees ~50 nodes across a few buckets — the same
+// density regime as the protocol's search-region queries.
+func benchMedium(b *testing.B) *Medium {
+	b.Helper()
+	m, err := NewMedium(Params{MaxRange: 100, DiffusionSpeed: 100}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := NodeID(0)
+	for x := 0; x < 40; x++ {
+		for y := 0; y < 40; y++ {
+			m.Place(id, geom.Point{X: float64(x) * 25, Y: float64(y) * 25})
+			id++
+		}
+	}
+	return m
+}
+
+// BenchmarkWithinRange measures the spatial query hot path. The
+// "append" case is the steady-state protocol path and must report
+// 0 allocs/op (TestWithinRangeAppendZeroAlloc enforces it); the
+// "alloc" case is the compatibility wrapper.
+func BenchmarkWithinRange(b *testing.B) {
+	center := geom.Point{X: 500, Y: 500}
+	b.Run("append", func(b *testing.B) {
+		m := benchMedium(b)
+		var buf []NodeID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = m.WithinRangeAppend(buf[:0], center, 100, None)
+			if len(buf) == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+	b.Run("alloc", func(b *testing.B) {
+		m := benchMedium(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ids := m.WithinRange(center, 100, None); len(ids) == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+}
+
+// BenchmarkBroadcast measures the zero-allocation broadcast path (the
+// per-Medium receiver buffer).
+func BenchmarkBroadcast(b *testing.B) {
+	m := benchMedium(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ids, _ := m.Broadcast(820, 100); len(ids) == 0 {
+			b.Fatal("no receivers")
+		}
+	}
+}
+
+// TestWithinRangeAppendZeroAlloc pins the acceptance bar of the append
+// API: once the destination buffer has warmed up to the result size,
+// queries allocate nothing.
+func TestWithinRangeAppendZeroAlloc(t *testing.T) {
+	m, err := NewMedium(Params{MaxRange: 100, DiffusionSpeed: 100}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NodeID(0)
+	for x := 0; x < 20; x++ {
+		for y := 0; y < 20; y++ {
+			m.Place(id, geom.Point{X: float64(x) * 25, Y: float64(y) * 25})
+			id++
+		}
+	}
+	center := geom.Point{X: 250, Y: 250}
+	var buf []NodeID
+	buf = m.WithinRangeAppend(buf, center, 100, None) // warm the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.WithinRangeAppend(buf[:0], center, 100, None)
+	})
+	if allocs != 0 {
+		t.Errorf("WithinRangeAppend steady state: %v allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if ids, _ := m.Broadcast(0, 100); len(ids) == 0 {
+			t.Fatal("no receivers")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Broadcast steady state: %v allocs/op, want 0", allocs)
+	}
+}

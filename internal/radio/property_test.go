@@ -1,0 +1,142 @@
+package radio
+
+import (
+	"slices"
+	"testing"
+
+	"gs3/internal/geom"
+	"gs3/internal/rng"
+)
+
+// bruteWithinRange is the all-pairs reference for the grid query: same
+// inclusion predicate (squared distance, boundary inclusive), ascending
+// IDs, no spatial index. Any divergence from WithinRange is a bucketing
+// bug (wrong ring bound, stale entry, missed boundary cell).
+func bruteWithinRange(m *Medium, p geom.Point, dist float64, exclude NodeID) []NodeID {
+	var out []NodeID
+	r2 := dist * dist
+	for id, q := range m.positions {
+		if id == exclude {
+			continue
+		}
+		if q.Dist2(p) <= r2 {
+			out = append(out, id)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// TestWithinRangePropertyVsBruteForce drives random deployments through
+// interleaved Place/Remove/Move churn and checks, after every step, that
+// the optimized query path matches the brute-force reference for query
+// points that deliberately straddle bucket boundaries.
+func TestWithinRangePropertyVsBruteForce(t *testing.T) {
+	for _, cellSize := range []float64{5, 30, 100} {
+		src := rng.New(uint64(1000 + int(cellSize)))
+		p := Params{MaxRange: 100, DiffusionSpeed: 100, CellSize: cellSize}
+		m, err := NewMedium(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		place := func(id NodeID) {
+			// Half the nodes land exactly on bucket edges (multiples of
+			// the cell size), the rest anywhere in the region.
+			if src.Intn(2) == 0 {
+				m.Place(id, geom.Point{
+					X: float64(src.Intn(9)-4) * cellSize,
+					Y: float64(src.Intn(9)-4) * cellSize,
+				})
+				return
+			}
+			x, y := src.InRect(-200, -200, 200, 200)
+			m.Place(id, geom.Point{X: x, Y: y})
+		}
+
+		const n = 60
+		for id := NodeID(0); id < n; id++ {
+			place(id)
+		}
+
+		check := func(step int) {
+			t.Helper()
+			// Query apexes on bucket corners, bucket centers, and a
+			// random point; radii below, equal to, and above cellSize.
+			apexes := []geom.Point{
+				{X: 0, Y: 0},
+				{X: cellSize, Y: -2 * cellSize},
+				{X: cellSize / 2, Y: cellSize / 2},
+			}
+			rx, ry := src.InRect(-150, -150, 150, 150)
+			apexes = append(apexes, geom.Point{X: rx, Y: ry})
+			for _, apex := range apexes {
+				for _, dist := range []float64{cellSize / 3, cellSize, 2.5 * cellSize} {
+					exclude := NodeID(src.Intn(n))
+					want := bruteWithinRange(m, apex, dist, exclude)
+					got := m.WithinRange(apex, dist, exclude)
+					if !slices.Equal(got, want) {
+						t.Fatalf("cell %v step %d: WithinRange(%v, %v, %d) = %v, want %v",
+							cellSize, step, apex, dist, exclude, got, want)
+					}
+					appended := m.WithinRangeAppend([]NodeID{None}, apex, dist, exclude)
+					if appended[0] != None || !slices.Equal(appended[1:], want) {
+						t.Fatalf("cell %v step %d: WithinRangeAppend = %v, want prefix-preserving %v",
+							cellSize, step, appended, want)
+					}
+				}
+			}
+		}
+
+		check(-1)
+		for step := 0; step < 40; step++ {
+			id := NodeID(src.Intn(n))
+			switch src.Intn(3) {
+			case 0: // move (Place on an existing or removed node)
+				place(id)
+			case 1:
+				m.Remove(id)
+			case 2: // re-add
+				place(id)
+			}
+			check(step)
+		}
+	}
+}
+
+// TestBroadcastReceiverSetRegression pins the RNG consumption contract
+// of Broadcast for a fixed seed: one Float64 per in-range receiver, in
+// ascending ID order. A replayed source over the brute-force receiver
+// list must predict the surviving set exactly; any change to query
+// ordering or randomness consumption breaks experiment reproducibility.
+func TestBroadcastReceiverSetRegression(t *testing.T) {
+	const seed = 42
+	p := Params{MaxRange: 100, DiffusionSpeed: 100, BroadcastLoss: 0.3, CellSize: 40}
+	m, err := NewMedium(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deploy := rng.New(7)
+	for id := NodeID(0); id < 80; id++ {
+		x, y := deploy.InRect(-150, -150, 150, 150)
+		m.Place(id, geom.Point{X: x, Y: y})
+	}
+
+	replay := rng.New(seed)
+	for round := 0; round < 20; round++ {
+		sender := NodeID(round % 80)
+		pos, _ := m.Position(sender)
+		inRange := bruteWithinRange(m, pos, 100, sender)
+		var want []NodeID
+		for _, id := range inRange {
+			if replay.Float64() < p.BroadcastLoss {
+				continue
+			}
+			want = append(want, id)
+		}
+		got, _ := m.Broadcast(sender, 100)
+		if !slices.Equal(got, want) {
+			t.Fatalf("round %d: Broadcast(%d) = %v, want %v", round, sender, got, want)
+		}
+	}
+}

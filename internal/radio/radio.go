@@ -20,7 +20,7 @@ package radio
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"gs3/internal/geom"
 	"gs3/internal/rng"
@@ -82,8 +82,14 @@ type Medium struct {
 
 	positions map[NodeID]geom.Point
 	alive     map[NodeID]bool
-	grid      map[gridKey][]NodeID
+	grid      map[gridKey][]gridEntry
 	cellSize  float64
+
+	// bcast is the reusable receiver buffer for Broadcast: steady-state
+	// broadcasts allocate nothing. It is distinct from any caller-owned
+	// WithinRangeAppend destination, so a Broadcast result stays valid
+	// across interleaved range queries (but not across Broadcasts).
+	bcast []NodeID
 
 	stats Stats
 
@@ -93,6 +99,14 @@ type Medium struct {
 }
 
 type gridKey struct{ x, y int }
+
+// gridEntry colocates a node's position with its ID inside the grid
+// bucket, so range tests never touch the positions map on the hot path.
+// Place and Remove keep it in sync with positions.
+type gridEntry struct {
+	id  NodeID
+	pos geom.Point
+}
 
 // NewMedium returns an empty medium. src supplies broadcast-loss
 // randomness; it may be nil when BroadcastLoss is 0.
@@ -112,7 +126,7 @@ func NewMedium(params Params, src *rng.Source) (*Medium, error) {
 		src:       src,
 		positions: make(map[NodeID]geom.Point),
 		alive:     make(map[NodeID]bool),
-		grid:      make(map[gridKey][]NodeID),
+		grid:      make(map[gridKey][]gridEntry),
 		cellSize:  cs,
 	}, nil
 }
@@ -150,7 +164,7 @@ func (m *Medium) Place(id NodeID, p geom.Point) {
 	m.positions[id] = p
 	m.alive[id] = true
 	k := m.key(p)
-	m.grid[k] = append(m.grid[k], id)
+	m.grid[k] = append(m.grid[k], gridEntry{id, p})
 }
 
 // Remove takes a node off the medium (death or leave).
@@ -165,8 +179,8 @@ func (m *Medium) Remove(id NodeID) {
 func (m *Medium) removeFromGrid(id NodeID, p geom.Point) {
 	k := m.key(p)
 	bucket := m.grid[k]
-	for i, other := range bucket {
-		if other == id {
+	for i, e := range bucket {
+		if e.id == id {
 			bucket[i] = bucket[len(bucket)-1]
 			m.grid[k] = bucket[:len(bucket)-1]
 			return
@@ -203,30 +217,43 @@ func (m *Medium) IDs() []NodeID {
 
 // WithinRange returns the IDs of nodes within dist of point p,
 // excluding exclude (pass None to exclude nobody). The result order is
-// deterministic: ascending ID.
+// deterministic: ascending ID. The returned slice is freshly allocated;
+// hot paths that can reuse a buffer should call WithinRangeAppend.
 func (m *Medium) WithinRange(p geom.Point, dist float64, exclude NodeID) []NodeID {
+	return m.WithinRangeAppend(nil, p, dist, exclude)
+}
+
+// WithinRangeAppend appends the IDs of nodes within dist of point p —
+// excluding exclude (pass None to exclude nobody) — to dst and returns
+// the extended slice. The appended IDs are in ascending order, so with
+// dst nil or empty the result obeys the same determinism contract as
+// WithinRange. Passing a reused dst[:0] makes steady-state queries
+// allocation-free.
+func (m *Medium) WithinRangeAppend(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
 	m.stats.RangeQueries++
-	var out []NodeID
-	r := int(math.Ceil(dist/m.cellSize)) + 1
+	// Bucket-ring bound: let c = ⌊p/cs⌋ be the query's cell on one axis.
+	// Any node q with |q−p| ≤ dist has per-axis offset |q.x−p.x| ≤ dist,
+	// and for reals a, b with b ≥ 0: ⌊a+b⌋ − ⌊a⌋ ≤ ⌈b⌉ and, symmetric-
+	// ally, ⌊a⌋ − ⌊a−b⌋ ≤ ⌈b⌉. With b = dist/cs this bounds q's cell
+	// index within c ± ⌈dist/cs⌉, so a ring of r = ⌈dist/cs⌉ suffices.
+	r := int(math.Ceil(dist / m.cellSize))
+	r2 := dist * dist
+	start := len(dst)
 	base := m.key(p)
 	for dx := -r; dx <= r; dx++ {
 		for dy := -r; dy <= r; dy++ {
-			for _, id := range m.grid[gridKey{base.x + dx, base.y + dy}] {
-				if id == exclude {
+			for _, e := range m.grid[gridKey{base.x + dx, base.y + dy}] {
+				if e.id == exclude {
 					continue
 				}
-				if m.positions[id].Dist(p) <= dist {
-					out = append(out, id)
+				if e.pos.Dist2(p) <= r2 {
+					dst = append(dst, e.id)
 				}
 			}
 		}
 	}
-	sortIDs(out)
-	return out
-}
-
-func sortIDs(ids []NodeID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Delay returns the propagation delay for a transmission covering dist.
@@ -238,6 +265,14 @@ func (m *Medium) Delay(dist float64) float64 {
 // all nodes within radius. Each receiver independently drops the message
 // with probability BroadcastLoss. It returns the surviving receiver IDs
 // (ascending) and the worst-case delay (to the farthest receiver).
+//
+// Loss randomness is consumed once per in-range receiver in ascending
+// ID order — the determinism contract RNG-replay tests rely on.
+//
+// The returned slice is backed by a per-Medium buffer: it stays valid
+// across range queries and unicasts, but the next Broadcast on this
+// medium overwrites it. Callers that retain receivers across
+// broadcasts must copy them out.
 func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 	p, ok := m.positions[sender]
 	if !ok {
@@ -247,7 +282,8 @@ func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 	if m.trace != nil {
 		m.trace(p)
 	}
-	ids := m.WithinRange(p, radius, sender)
+	m.bcast = m.WithinRangeAppend(m.bcast[:0], p, radius, sender)
+	ids := m.bcast
 	out := ids[:0]
 	var maxDist float64
 	for _, id := range ids {
