@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json smoke check
+.PHONY: all build vet test race bench bench-json smoke fuzz-smoke chaos check
 
 all: check
 
@@ -39,4 +39,21 @@ bench-json:
 smoke:
 	$(GO) test -bench='BenchmarkScalingSweep' -benchtime=1x
 
-check: build vet race
+# Run every fuzz target briefly: each package with Fuzz* functions gets
+# a short randomized burst beyond its checked-in seed corpus.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	@for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$target"; \
+			$(GO) test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done
+
+# Chaos smoke scenario: lossy radio with blackouts on the default grid;
+# gs3sim exits nonzero if the watchdog sees no convergence.
+chaos:
+	$(GO) run ./cmd/gs3sim -region 300 -loss 0.2 -blackout-rate 0.02 -blackout-sweeps 3 \
+		-chaos -sweeps 120 -seed 7
+
+check: build vet race fuzz-smoke chaos

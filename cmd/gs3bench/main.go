@@ -200,6 +200,19 @@ func experiments() []experiment {
 			}
 			return t.Format(), nil
 		}},
+		{"R1", "robustness: convergence probability and healing time vs message loss", func(p runner.Pool, seed uint64, quick bool) (string, error) {
+			rates := []float64{0, 0.05, 0.1, 0.2, 0.3}
+			trials, budget := 16, 120
+			if quick {
+				rates = []float64{0, 0.2}
+				trials = 6
+			}
+			t, err := exp.Robustness(p, 100, 250, rates, trials, budget, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
 		{"A3", "ablation: heartbeat interval vs head-death masking latency", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			intervals := []float64{0.5, 1, 2}
 			if quick {

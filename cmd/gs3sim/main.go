@@ -17,6 +17,8 @@
 //	gs3sim -region 400 -svg structure.svg
 //	gs3sim -region 400 -trials 8            # 8 seed replicates in parallel
 //	gs3sim -region 400 -trials 8 -seq       # same reports, one at a time
+//	gs3sim -region 400 -loss 0.2 -sweeps 40           # lossy radio
+//	gs3sim -region 400 -loss 0.2 -chaos -sweeps 120   # chaos watchdog
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 
 	"gs3/internal/check"
 	"gs3/internal/core"
+	"gs3/internal/fault"
 	"gs3/internal/geom"
 	"gs3/internal/netsim"
 	"gs3/internal/render"
@@ -56,6 +59,7 @@ type scenario struct {
 	killC    geom.Point
 	killR    float64
 	sweeps   int
+	chaos    bool
 	traceN   int
 	svgPath  string
 	dumpPath string
@@ -74,6 +78,12 @@ func run(args []string) error {
 		sweeps   = fs.Int("sweeps", 0, "maintenance sweeps to run after configuring (enables GS3-D)")
 		mobile   = fs.Bool("mobile", false, "run GS3-M instead of GS3-D maintenance")
 		killDisk = fs.String("kill-disk", "", "kill all nodes in disk \"x,y,radius\" after configuring")
+		loss     = fs.Float64("loss", 0, "per-delivery message loss probability [0,1)")
+		dup      = fs.Float64("dup", 0, "per-delivery duplication probability [0,1)")
+		jitter   = fs.Float64("jitter", 0, "delay jitter factor (delay scaled by up to 1+jitter)")
+		boRate   = fs.Float64("blackout-rate", 0, "per-node per-sweep blackout start probability [0,1)")
+		boSweeps = fs.Float64("blackout-sweeps", 3, "mean blackout duration in sweeps")
+		chaos    = fs.Bool("chaos", false, "run the convergence watchdog over -sweeps instead of a fixed sweep count; exit nonzero on non-convergence")
 		svgPath  = fs.String("svg", "", "write an SVG rendering of the final structure to this file")
 		traceN   = fs.Int("trace", 0, "record protocol events and print the last N")
 		dumpPath = fs.String("dump", "", "write the final snapshot as JSON to this file")
@@ -92,6 +102,7 @@ func run(args []string) error {
 	base := scenario{
 		mobile:   *mobile,
 		sweeps:   *sweeps,
+		chaos:    *chaos,
 		traceN:   *traceN,
 		svgPath:  *svgPath,
 		dumpPath: *dumpPath,
@@ -99,6 +110,16 @@ func run(args []string) error {
 	}
 	base.opt = netsim.DefaultOptions(*r, *region)
 	base.opt.Seed = *seed
+	base.opt.Faults = fault.Plan{
+		Loss:           *loss,
+		Dup:            *dup,
+		Jitter:         *jitter,
+		BlackoutRate:   *boRate,
+		BlackoutSweeps: *boSweeps,
+	}
+	if base.chaos && base.sweeps <= 0 {
+		return fmt.Errorf("-chaos needs a positive -sweeps budget")
+	}
 	if *rt > 0 {
 		base.opt.Config.Rt = *rt
 	}
@@ -184,15 +205,25 @@ func (sc scenario) run(w io.Writer) error {
 			fmt.Fprintf(w, "killed %d nodes in disk (%.0f,%.0f) r=%.0f\n", killed, sc.killC.X, sc.killC.Y, sc.killR)
 		}
 	}
+	var chaosErr error
 	if sc.sweeps > 0 {
 		variant := core.VariantD
 		if sc.mobile {
 			variant = core.VariantM
 		}
 		s.Net.StartMaintenance(variant)
-		s.RunSweeps(sc.sweeps)
-		if !sc.quiet {
-			fmt.Fprintf(w, "ran %d maintenance sweeps (%s)\n", sc.sweeps, variant)
+		if sc.chaos {
+			rep := s.RunChaos(check.Dynamic, 3, sc.sweeps)
+			fmt.Fprintf(w, "chaos: converged=%v healTime=%.2f sweeps=%d violations=%d retries=%d\n",
+				rep.Converged, rep.HealTime, rep.Sweeps, rep.Violations, rep.Retries)
+			if !rep.Converged {
+				chaosErr = fmt.Errorf("chaos: no convergence within %d sweeps (%w)", sc.sweeps, netsim.ErrNoConvergence)
+			}
+		} else {
+			s.RunSweeps(sc.sweeps)
+			if !sc.quiet {
+				fmt.Fprintf(w, "ran %d maintenance sweeps (%s)\n", sc.sweeps, variant)
+			}
 		}
 	}
 
@@ -219,6 +250,10 @@ func (sc scenario) run(w io.Writer) error {
 			m.HeadOrgs, m.HeadsSelected, m.HeadShifts, m.CellShifts, m.Abandonments, m.SanityRetreats)
 		rs := s.Net.Medium().Stats()
 		fmt.Fprintf(w, "radio: broadcasts=%d unicasts=%d deliveries=%d\n", rs.Broadcasts, rs.Unicasts, rs.Deliveries)
+		if sc.opt.Faults.Active() {
+			fmt.Fprintf(w, "faults: drops=%d dups=%d blackouts=%d blackoutDrops=%d retries=%d\n",
+				rs.FaultDrops, rs.FaultDups, rs.Blackouts, rs.BlackoutDrops, rs.Retries)
+		}
 	}
 
 	if sc.traceN > 0 {
@@ -248,7 +283,7 @@ func (sc scenario) run(w io.Writer) error {
 			fmt.Fprintf(w, "wrote %s\n", sc.dumpPath)
 		}
 	}
-	return nil
+	return chaosErr
 }
 
 func parseDisk(s string) (geom.Point, float64, error) {

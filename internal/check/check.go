@@ -176,17 +176,30 @@ func checkI1(ix *index, r *Result) {
 		}
 	}
 
-	// I1.2: every head reaches a root (big node or the big node's
-	// proxy) by following parents, without cycles.
+	// I1.2: every head reaches a root by following parents, without
+	// cycles. The root is the big node, its BIG_MOVE proxy, or — during
+	// a BIG_SLIDE — the head of the cell the big node belongs to.
 	root := bigID
-	if haveBig && !big.IsHead() && big.Proxy != radio.None {
-		root = big.Proxy
+	if haveBig && !big.IsHead() {
+		switch {
+		case big.Status == core.StatusBigSlide && big.Head != radio.None:
+			root = big.Head
+		case big.Proxy != radio.None:
+			root = big.Proxy
+		}
 	}
 	for _, h := range ix.heads {
 		seen := map[radio.NodeID]bool{}
 		cur := h
 		for {
 			if cur.ID == root {
+				break
+			}
+			if cur.Blackout {
+				// The walk runs through a transiently-down head: its
+				// frozen parent pointer may be stale, and a down head
+				// cannot repair it until it restores. Healing in
+				// progress, not a violation.
 				break
 			}
 			if seen[cur.ID] {
@@ -223,9 +236,12 @@ func checkI2(ix *index, mode Mode, r *Result) {
 
 		// I2.1 / I2.2: neighbor-head distances. The grid returns the
 		// in-band heads directly, ascending by ID like the full scan did.
+		// Pairs involving a blacked-out head are skipped: a replacement
+		// head legitimately coexists near its down predecessor until the
+		// predecessor restores and yields.
 		for _, oi := range ix.headsNear(h.Pos, hi+1e-9) {
 			o := ix.heads[oi]
-			if o.ID == h.ID {
+			if o.ID == h.ID || h.Blackout || o.Blackout {
 				continue
 			}
 			d := h.Pos.Dist(o.Pos)
@@ -246,12 +262,16 @@ func checkI2(ix *index, mode Mode, r *Result) {
 			}
 		}
 
-		// I2.3: children bound. The big node gets 6; a head acting as
-		// the moving big node's proxy stands in for it (distance 0) and
-		// gets the same bound.
+		// I2.3: children bound. The big node gets 6; a head standing in
+		// for it — the moving big node's proxy, or the head that took
+		// over the big node's cell during a BIG_SLIDE (it inherits the
+		// big node's children) — gets the same bound.
 		isProxy := false
-		if big, ok := ix.views[ix.snap.BigID]; ok && big.Proxy == h.ID {
-			isProxy = true
+		if big, ok := ix.views[ix.snap.BigID]; ok {
+			if big.Proxy == h.ID ||
+				(big.Status == core.StatusBigSlide && big.Head == h.ID) {
+				isProxy = true
+			}
 		}
 		limit := 3
 		if mode == Dynamic && !h.IsBig {
@@ -310,11 +330,17 @@ func checkI3(ix *index, mode Mode, r *Result) {
 		if ix.isBoundary(hv) {
 			continue
 		}
+		if v.Blackout || hv.Blackout {
+			continue // down node or down head: re-choice pending restore
+		}
 		// Any head beating the chosen one lies within chosen of the
 		// associate, so the grid query bounds the scan.
 		chosen := v.Pos.Dist(hv.Pos)
 		for _, oi := range ix.headsNear(v.Pos, chosen) {
 			o := ix.heads[oi]
+			if o.Blackout {
+				continue // unhearable: cannot be chosen
+			}
 			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
 				r.addf("I3", v.ID, "head %d at %.4g closer than chosen %d at %.4g", o.ID, d, v.Head, chosen)
 				break
@@ -348,9 +374,15 @@ func checkF3(ix *index, r *Result) {
 		if !ok || !hv.IsHead() {
 			continue // reported by I3 already
 		}
+		if v.Blackout || hv.Blackout {
+			continue // down node or down head: re-choice pending restore
+		}
 		chosen := v.Pos.Dist(hv.Pos)
 		for _, oi := range ix.headsNear(v.Pos, chosen) {
 			o := ix.heads[oi]
+			if o.Blackout {
+				continue // a live associate cannot hear a down head
+			}
 			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
 				r.addf("F3", v.ID, "head %d at %.4g closer than chosen %.4g", o.ID, d, chosen)
 				break
@@ -366,7 +398,7 @@ func checkF4(ix *index, r *Result) {
 	cfg := ix.snap.Config
 	reach := connectedTo(ix.snap, ix.snap.BigID, cfg.SearchRadius())
 	for _, v := range ix.snap.Nodes {
-		if !reach[v.ID] {
+		if !reach[v.ID] || v.Blackout {
 			continue
 		}
 		switch v.Status {
@@ -427,13 +459,21 @@ func connectedTo(s core.Snapshot, start radio.NodeID, txRange float64) map[radio
 func checkMinDistTree(ix *index, r *Result) {
 	cfg := ix.snap.Config
 	root := ix.snap.BigID
-	if big, ok := ix.views[root]; ok && !big.IsHead() && big.Proxy != radio.None {
-		root = big.Proxy
+	if big, ok := ix.views[root]; ok && !big.IsHead() {
+		switch {
+		case big.Status == core.StatusBigSlide && big.Head != radio.None:
+			root = big.Head
+		case big.Proxy != radio.None:
+			root = big.Proxy
+		}
 	}
-	if _, ok := ix.views[root]; !ok {
+	if rv, ok := ix.views[root]; !ok || rv.Blackout {
 		return
 	}
 	// BFS over the head-neighbor graph Ghn (heads within √3R+2Rt).
+	// Transiently-down heads are excluded: ParentSeek only considers
+	// reachable heads, so the protocol's hop counts are shortest paths
+	// in the blackout-excluded graph.
 	dist := map[radio.NodeID]int{root: 0}
 	queue := []radio.NodeID{root}
 	for len(queue) > 0 {
@@ -444,7 +484,7 @@ func checkMinDistTree(ix *index, r *Result) {
 		// call (next queue pop), so the scratch-backed slice is safe.
 		for _, oi := range ix.headsNear(cv.Pos, cfg.NeighborDistMax()+1e-9) {
 			o := ix.heads[oi]
-			if o.ID == cur {
+			if o.ID == cur || o.Blackout {
 				continue
 			}
 			if _, seen := dist[o.ID]; !seen {
@@ -455,7 +495,7 @@ func checkMinDistTree(ix *index, r *Result) {
 	}
 	for _, h := range ix.heads {
 		want, reachable := dist[h.ID]
-		if !reachable {
+		if !reachable || h.Blackout {
 			continue
 		}
 		if h.Hops != want {

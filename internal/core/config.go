@@ -41,6 +41,17 @@ type Config struct {
 	// cell abandonment.
 	AbandonSlack float64
 
+	// OrgRetries bounds how many times a head re-issues its
+	// organization broadcast after a timeout finds its neighborhood
+	// still incomplete — the liveness repair for HEAD_ORG replies lost
+	// by an unreliable radio. Retry timers are armed only when a fault
+	// injector is active: a reliable radio never drops a reply, so
+	// re-issuing could only repeat work the proofs already cover.
+	OrgRetries int
+	// RetryBackoff is the initial re-issue timeout in units of one
+	// HEAD_ORG round latency; the wait doubles after every retry.
+	RetryBackoff float64
+
 	// InitialEnergy is each small node's energy budget; 0 disables the
 	// energy model. The big node never runs out.
 	InitialEnergy float64
@@ -62,6 +73,8 @@ func DefaultConfig(r float64) Config {
 		BoundaryRescanEvery:  5,
 		SanityCheckEvery:     7,
 		AbandonSlack:         0,
+		OrgRetries:           4,
+		RetryBackoff:         2,
 		InitialEnergy:        0,
 		AssociateDissipation: 1,
 		HeadEnergyFactor:     5,
@@ -81,6 +94,12 @@ func (c Config) Validate() error {
 	}
 	if c.BoundaryRescanEvery <= 0 || c.SanityCheckEvery <= 0 {
 		return fmt.Errorf("core: rescan/sanity periods must be positive")
+	}
+	if c.OrgRetries < 0 {
+		return fmt.Errorf("core: negative OrgRetries %d", c.OrgRetries)
+	}
+	if c.RetryBackoff <= 0 {
+		return fmt.Errorf("core: RetryBackoff must be positive, got %v", c.RetryBackoff)
 	}
 	if c.InitialEnergy < 0 || c.AssociateDissipation < 0 || c.HeadEnergyFactor < 0 {
 		return fmt.Errorf("core: energy parameters must be non-negative")

@@ -37,9 +37,67 @@ func (nw *Network) orgLatency() float64 {
 	return 3 * nw.med.Delay(nw.cfg.SearchRadius()+nw.cfg.Rt)
 }
 
-// scheduleHeadOrg queues a HEAD_ORG action for head id after delay.
+// scheduleHeadOrg queues a HEAD_ORG action for head id after delay
+// (jittered when faults are active).
 func (nw *Network) scheduleHeadOrg(id radio.NodeID, delay float64) {
-	nw.eng.After(delay, "head_org", func() { nw.HeadOrg(id) })
+	nw.eng.After(nw.jittered(delay), "head_org", func() { nw.HeadOrg(id) })
+}
+
+// scheduleOrgRetry arms the HEAD_ORG timeout of head id: when it fires
+// with the head's neighborhood still incomplete — an unowned,
+// conflict-free neighboring IL with nodes in its candidate area, the
+// state a lost HEAD_ORG reply leaves behind — the head re-issues its
+// organization broadcast. Waits start at RetryBackoff round latencies
+// and double per attempt, bounded by OrgRetries. Reliable radios never
+// arm the timer.
+func (nw *Network) scheduleOrgRetry(id radio.NodeID, attempt int) {
+	if !nw.faults.Active() || attempt > nw.cfg.OrgRetries {
+		return
+	}
+	wait := nw.cfg.RetryBackoff * nw.orgLatency() * float64(uint64(1)<<uint(attempt-1))
+	nw.eng.After(nw.jittered(wait), "head_org_retry", func() { nw.orgRetry(id, attempt) })
+}
+
+// orgRetry fires one HEAD_ORG timeout: if the neighborhood is still
+// incomplete, re-issue via a full rescan (counted in radio.Stats as a
+// retry) and re-arm with doubled backoff; otherwise the timer dies.
+func (nw *Network) orgRetry(id radio.NodeID, attempt int) {
+	h := nw.nodes[id]
+	if h == nil || !nw.Reachable(id) || !h.Status.IsHeadRole() {
+		return
+	}
+	if !nw.orgIncomplete(h) {
+		return
+	}
+	nw.med.CountRetry()
+	nw.RescanAround(id)
+	nw.scheduleOrgRetry(id, attempt+1)
+}
+
+// orgIncomplete reports whether some neighboring IL of h is unowned yet
+// serviceable: no head owns it, no existing head conflicts with it, and
+// its candidate area holds at least one small node that could head it.
+func (nw *Network) orgIncomplete(h *Node) bool {
+	for _, il := range nw.sixILs(h) {
+		if _, ok := nw.ilOwner(il); ok {
+			continue
+		}
+		if nw.ilConflicts(il) {
+			continue
+		}
+		if len(nw.smallAt(il, nw.cfg.Rt)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// smallAt returns the alive small (non-big, non-head) nodes within dist
+// of p. The result aliases the network's scratch buffer (filterQuery).
+func (nw *Network) smallAt(p geom.Point, dist float64) []radio.NodeID {
+	return nw.filterQuery(p, dist, radio.None, func(n *Node) bool {
+		return !n.IsBig && (n.Status == StatusBootup || n.Status == StatusAssociate)
+	})
 }
 
 // HeadOrg executes the HEAD_ORG module at head id: it discovers the
@@ -125,6 +183,7 @@ func (nw *Network) HeadOrg(id radio.NodeID) {
 	}
 
 	h.Status = StatusWork
+	nw.scheduleOrgRetry(id, 1)
 }
 
 // ilOwner reports whether some existing head owns the cell at il, i.e.
@@ -207,7 +266,7 @@ func (nw *Network) ChooseHead(id radio.NodeID) radio.NodeID {
 		return radio.None
 	}
 	p := nw.Position(id)
-	heads := nw.headRoleAt(p, nw.cfg.SearchRadius())
+	heads := nw.reachableHeadsAt(p, nw.cfg.SearchRadius())
 	best, ok := BestCandidate(p, nw.cfg.GR, heads, nw.Position)
 	if !ok {
 		n.becomeBootup()

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"gs3/internal/geom"
 	"gs3/internal/hexlat"
@@ -45,6 +46,7 @@ type nodeViewJSON struct {
 	Candidate bool           `json:"candidate,omitempty"`
 	Proxy     radio.NodeID   `json:"proxy"`
 	Energy    float64        `json:"energy,omitempty"`
+	Blackout  bool           `json:"blackout,omitempty"`
 }
 
 var statusByName = func() map[string]Status {
@@ -73,7 +75,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 			ICC: v.Spiral.ICC, ICP: v.Spiral.ICP,
 			Parent: v.Parent, Children: v.Children, Neighbors: v.Neighbors,
 			Hops: v.Hops, Head: v.Head, Candidate: v.Candidate,
-			Proxy: v.Proxy, Energy: v.Energy,
+			Proxy: v.Proxy, Energy: v.Energy, Blackout: v.Blackout,
 		})
 	}
 	return json.Marshal(out)
@@ -85,12 +87,18 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("core: decode snapshot: %w", err)
 	}
-	cfg := DefaultConfig(in.Config.R)
-	if in.Config.R <= 0 {
-		return fmt.Errorf("core: decode snapshot: non-positive R %v", in.Config.R)
+	if !(in.Config.R > 0) || math.IsInf(in.Config.R, 0) {
+		return fmt.Errorf("core: decode snapshot: bad R %v", in.Config.R)
 	}
+	cfg := DefaultConfig(in.Config.R)
 	cfg.Rt = in.Config.Rt
+	if !(cfg.Rt > 0) || cfg.Rt > cfg.R {
+		return fmt.Errorf("core: decode snapshot: bad Rt %v for R %v", cfg.Rt, cfg.R)
+	}
 	cfg.GR = in.Config.GR
+	if math.IsNaN(cfg.GR) || math.IsInf(cfg.GR, 0) {
+		return fmt.Errorf("core: decode snapshot: bad GR %v", cfg.GR)
+	}
 	if in.Config.HeartbeatInterval > 0 {
 		cfg.HeartbeatInterval = in.Config.HeartbeatInterval
 	}
@@ -108,7 +116,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 			Spiral: hexlat.SpiralIndex{ICC: v.ICC, ICP: v.ICP},
 			Parent: v.Parent, Children: v.Children, Neighbors: v.Neighbors,
 			Hops: v.Hops, Head: v.Head, Candidate: v.Candidate,
-			Proxy: v.Proxy, Energy: v.Energy,
+			Proxy: v.Proxy, Energy: v.Energy, Blackout: v.Blackout,
 		})
 	}
 	*s = out

@@ -59,7 +59,7 @@ func (nw *Network) StopMaintenance() {
 }
 
 func (nw *Network) scheduleSweep(id radio.NodeID, delay float64) {
-	nw.eng.After(delay, "sweep", func() { nw.sweep(id) })
+	nw.eng.After(nw.jittered(delay), "sweep", func() { nw.sweep(id) })
 }
 
 // sweep is one maintenance round at node id: heartbeat exchange,
@@ -71,6 +71,21 @@ func (nw *Network) sweep(id radio.NodeID) {
 	n := nw.nodes[id]
 	if n == nil || n.Status == StatusDead {
 		return
+	}
+	// Transient blackout (fault layer): a blacked-out node keeps its
+	// state but does nothing — its radio is off — until the restore event
+	// brings it back. Small nodes roll the blackout-start dice once per
+	// sweep; the big node is mains-powered and exempt.
+	if nw.med.InBlackout(id) {
+		nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+		return
+	}
+	if !n.IsBig {
+		if sweeps, ok := nw.faults.BlackoutStart(); ok {
+			nw.beginBlackout(id, sweeps*nw.cfg.HeartbeatInterval)
+			nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+			return
+		}
 	}
 	n.sweep++
 
@@ -97,6 +112,37 @@ func (nw *Network) sweep(id radio.NodeID) {
 	}
 
 	nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+}
+
+// beginBlackout takes node id's radio down for dur virtual time and
+// schedules the restore. State is preserved across the outage — this is
+// a crash/restart with stable storage, not a death.
+func (nw *Network) beginBlackout(id radio.NodeID, dur float64) {
+	nw.med.SetBlackout(id, true)
+	nw.eng.After(dur, "blackout_restore", func() { nw.restoreFromBlackout(id) })
+}
+
+// restoreFromBlackout brings node id's radio back. A restored head whose
+// cell was healed in its absence (a candidate was elected onto the same
+// IL) yields instead of fighting the replacement: it hears the new
+// head's heartbeat first thing after restart and re-joins as a small
+// node, exactly as the paper's restarted-node rule prescribes.
+func (nw *Network) restoreFromBlackout(id radio.NodeID) {
+	nw.med.SetBlackout(id, false)
+	n := nw.nodes[id]
+	if n == nil || !nw.Alive(id) {
+		return
+	}
+	if n.IsBig || !n.Status.IsHeadRole() {
+		return
+	}
+	for _, hid := range nw.headRoleAt(n.IL, nw.cfg.SearchRadius()) {
+		if hid != id && nw.nodes[hid].IL.Dist(n.IL) <= nw.cfg.Rt {
+			n.becomeBootup()
+			nw.ChooseHead(id)
+			return
+		}
+	}
 }
 
 // drainEnergy applies the energy model for one sweep interval. The big
@@ -232,7 +278,7 @@ func (nw *Network) ilDeviatesTooMuch(h *Node, il geom.Point) bool {
 func (nw *Network) cellMembers(h *Node) []radio.NodeID {
 	hid := h.ID
 	return nw.filterQuery(h.OIL, nw.cfg.R+nw.cfg.Rt, hid, func(n *Node) bool {
-		if n.IsBig || !nw.Alive(n.ID) {
+		if n.IsBig || !nw.Alive(n.ID) || nw.med.InBlackout(n.ID) {
 			return false
 		}
 		return (n.Status == StatusAssociate && n.Head == hid) || n.Status == StatusBootup
@@ -328,6 +374,7 @@ func (nw *Network) AbandonCell(id radio.NodeID) {
 func (nw *Network) associateIntraCell(n *Node) {
 	head := nw.nodes[n.Head]
 	headOK := head != nil && nw.Alive(n.Head) && (head.Status.IsHeadRole() || head.IsBig) &&
+		!nw.med.InBlackout(n.Head) &&
 		nw.med.Dist(n.ID, n.Head) <= nw.cfg.SearchRadius()
 
 	if headOK && head.Status.IsHeadRole() {
@@ -357,7 +404,8 @@ func (nw *Network) electFromCandidates(detector *Node) {
 	deadHead := detector.Head
 	il := detector.CellIL
 	candidates := nw.filterQuery(il, nw.cfg.Rt, radio.None, func(c *Node) bool {
-		return nw.Alive(c.ID) && c.Status == StatusAssociate && c.Head == deadHead
+		return nw.Alive(c.ID) && c.Status == StatusAssociate && c.Head == deadHead &&
+			!nw.med.InBlackout(c.ID)
 	})
 	best, ok := BestCandidate(il, nw.cfg.GR, candidates, nw.Position)
 	if !ok {
@@ -379,6 +427,20 @@ func (nw *Network) electFromCandidates(detector *Node) {
 	// that each member clears on its own sweep, but re-pointing the
 	// obvious ones now models the election broadcast within the cell.
 	nw.repointLinks(deadHead, best)
+	// Under sustained faults, promotions happen continuously and each
+	// parentless window would keep the convergence watchdog from ever
+	// seeing a clean sweep; the election announcement doubles as the
+	// neighbor discovery, so the new head seeks its parent right away.
+	if nw.faults.Active() {
+		pos := nw.Position(best)
+		repl.Neighbors = repl.Neighbors[:0]
+		for _, nid := range nw.reachableHeadsAt(pos, nw.cfg.SearchRadius()) {
+			if nid != best {
+				repl.Neighbors = append(repl.Neighbors, nid)
+			}
+		}
+		nw.ParentSeek(best)
+	}
 }
 
 // unknownHops marks a hop count that must be re-learned from neighbors.
@@ -398,7 +460,7 @@ func (nw *Network) headInterCell(h *Node) {
 	// query result aliases the network scratch buffer, so it is copied
 	// into the node's own (capacity-reused) Neighbors slice.
 	pos := nw.Position(h.ID)
-	neighbors := nw.headRoleAt(pos, cfg.SearchRadius())
+	neighbors := nw.reachableHeadsAt(pos, cfg.SearchRadius())
 	h.Neighbors = h.Neighbors[:0]
 	for _, id := range neighbors {
 		if id != h.ID {
@@ -452,7 +514,7 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	bestDist := math.Inf(1)
 	for _, nid := range h.Neighbors {
 		nh := nw.nodes[nid]
-		if nh == nil || !nw.Alive(nid) || !nh.Status.IsHeadRole() {
+		if nh == nil || !nw.Reachable(nid) || !nh.Status.IsHeadRole() {
 			continue
 		}
 		d := nw.med.Dist(id, nid)
@@ -471,7 +533,7 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	// same hop distance is kept — this stickiness is what contains the
 	// impact of a big-node move to the √3·d/2 region of Theorem 11.
 	if cp := nw.nodes[h.Parent]; h.Parent != radio.None && cp != nil &&
-		nw.Alive(h.Parent) && cp.Status.IsHeadRole() &&
+		nw.Reachable(h.Parent) && cp.Status.IsHeadRole() &&
 		containsID(h.Neighbors, h.Parent) && cp.Hops <= bestHops {
 		h.ParentIL = cp.IL
 		h.Hops = cp.Hops + 1
@@ -491,12 +553,22 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 }
 
 // isRootHead reports whether h anchors the head graph: the big node
-// acting as head, or the proxy of a moving big node.
+// acting as head, the proxy of a moving big node, or — during a
+// BIG_SLIDE — the head of the cell the big node is a member of.
+// Without the slide clause the head graph has no distance-0 root while
+// the big node's cell IL is away, and ParentSeek counts to infinity.
 func (nw *Network) isRootHead(h *Node) bool {
 	if h.IsBig {
 		return true
 	}
-	if big := nw.nodes[nw.bigID]; big != nil && big.Status == StatusBigMove && big.Proxy == h.ID {
+	big := nw.nodes[nw.bigID]
+	if big == nil {
+		return false
+	}
+	if big.Status == StatusBigMove && big.Proxy == h.ID {
+		return true
+	}
+	if big.Status == StatusBigSlide && big.Head == h.ID {
 		return true
 	}
 	return false
@@ -606,7 +678,9 @@ func (nw *Network) SanityCheck(id radio.NodeID) bool {
 	// valid state; otherwise wait and re-check next period.
 	for _, nid := range h.Neighbors {
 		nh := nw.nodes[nid]
-		if nh == nil || !nw.Alive(nid) || !nh.Status.IsHeadRole() {
+		// A blacked-out neighbor cannot answer the attestation request;
+		// it simply does not vote, like a dead one.
+		if nh == nil || !nw.Reachable(nid) || !nh.Status.IsHeadRole() {
 			continue
 		}
 		if !nw.headStateValid(nh) {

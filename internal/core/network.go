@@ -6,6 +6,7 @@ import (
 
 	"gs3/internal/trace"
 
+	"gs3/internal/fault"
 	"gs3/internal/geom"
 	"gs3/internal/radio"
 	"gs3/internal/rng"
@@ -64,6 +65,10 @@ type Network struct {
 	// results for the same IL loop iteration.
 	caBuf []radio.NodeID
 
+	// faults, when set, injects radio unreliability and node blackouts
+	// (see internal/fault); nil runs the reliable model unchanged.
+	faults *fault.Injector
+
 	// tracer, when set, records protocol events.
 	tracer *trace.Log
 }
@@ -120,6 +125,32 @@ func (nw *Network) Medium() *radio.Medium { return nw.med }
 
 // Metrics returns a copy of the protocol action counters.
 func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// SetFaults installs (or, with nil, removes) a deterministic fault
+// injector on the network and its medium. With faults installed,
+// broadcasts lose/duplicate deliveries, delays jitter, small nodes
+// suffer transient blackouts during maintenance, and heads arm
+// timeout/retry timers after HEAD_ORG. A nil injector restores the
+// reliable model bit-for-bit.
+func (nw *Network) SetFaults(inj *fault.Injector) {
+	nw.faults = inj
+	nw.med.SetFaults(inj)
+}
+
+// Faults returns the installed fault injector (nil when reliable).
+func (nw *Network) Faults() *fault.Injector { return nw.faults }
+
+// jittered applies the fault injector's delay jitter to a scheduling
+// delay; it is the identity when faults are off.
+func (nw *Network) jittered(d float64) float64 {
+	return nw.faults.JitterDelay(d)
+}
+
+// Reachable reports whether id is alive and currently able to exchange
+// messages — i.e. not transiently blacked out by the fault layer.
+func (nw *Network) Reachable(id radio.NodeID) bool {
+	return nw.Alive(id) && !nw.med.InBlackout(id)
+}
 
 // BigID returns the big node's ID, or radio.None if absent.
 func (nw *Network) BigID() radio.NodeID { return nw.bigID }
@@ -183,6 +214,17 @@ func (nw *Network) headRoleAt(p geom.Point, dist float64) []radio.NodeID {
 	})
 }
 
+// reachableHeadsAt returns the alive head-role nodes within dist of p
+// that a small node could actually hear — blacked-out heads are
+// excluded. Structure-consistency queries (ilOwner, ilConflicts) keep
+// using headRoleAt so a transiently crashed head still owns its cell.
+// The result aliases the network's scratch buffer (see filterQuery).
+func (nw *Network) reachableHeadsAt(p geom.Point, dist float64) []radio.NodeID {
+	return nw.filterQuery(p, dist, radio.None, func(n *Node) bool {
+		return n.Status.IsHeadRole() && !nw.med.InBlackout(n.ID)
+	})
+}
+
 // Associates returns the alive associates of head h (nodes whose Head
 // field names h), found by a local range query around h's cell.
 // The result aliases the network's scratch buffer (see filterQuery).
@@ -198,7 +240,8 @@ func (nw *Network) Associates(h radio.NodeID) []radio.NodeID {
 }
 
 // Candidates returns the alive associates of h within Rt of h's current
-// IL — the head-candidate set of §4.1.
+// IL — the head-candidate set of §4.1. Blacked-out associates are
+// excluded: they can neither refresh their replica nor take the role.
 // The result aliases the network's scratch buffer (see filterQuery).
 func (nw *Network) Candidates(h radio.NodeID) []radio.NodeID {
 	hn := nw.nodes[h]
@@ -206,7 +249,7 @@ func (nw *Network) Candidates(h radio.NodeID) []radio.NodeID {
 		return nil
 	}
 	return nw.filterQuery(hn.IL, nw.cfg.Rt, h, func(n *Node) bool {
-		return n.Status == StatusAssociate && n.Head == h
+		return n.Status == StatusAssociate && n.Head == h && !nw.med.InBlackout(n.ID)
 	})
 }
 

@@ -26,6 +26,10 @@ type NodeView struct {
 	Candidate bool
 	Proxy     radio.NodeID
 	Energy    float64
+	// Blackout marks a node transiently down (fault layer): its state
+	// is intact but it neither transmits nor hears until it restores.
+	// Always false without an active fault injector.
+	Blackout bool
 }
 
 // IsHead reports whether the node holds the head role in this view.
@@ -71,6 +75,7 @@ func (nw *Network) Snapshot() Snapshot {
 			Candidate: n.Candidate,
 			Proxy:     n.Proxy,
 			Energy:    n.Energy,
+			Blackout:  nw.med.InBlackout(id),
 		})
 	}
 	return s

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"gs3/internal/check"
+)
+
+// ChaosReport summarizes one chaos run: whether the invariants settled,
+// how long they took, and how hard the protocol had to work.
+type ChaosReport struct {
+	// Converged reports whether the fixpoint held for the required
+	// streak of consecutive sweep boundaries within the budget.
+	Converged bool
+	// HealTime is the virtual time from the start of the run to the
+	// first sweep boundary of the winning streak (0 when the invariants
+	// already held at the start). Meaningless when !Converged.
+	HealTime float64
+	// Sweeps is how many sweeps actually ran.
+	Sweeps int
+	// Violations counts the sweep boundaries at which the fixpoint did
+	// NOT hold.
+	Violations int
+	// Retries is the number of HEAD_ORG re-issues the radio counted
+	// (radio.Stats.Retries at the end of the run).
+	Retries uint64
+}
+
+// RunChaos is the convergence watchdog for faulty runs: it drives
+// maintenance sweeps, evaluating the (mode) fixpoint at every sweep
+// boundary, until the invariants hold at streak consecutive boundaries
+// or budget sweeps elapse. Under an active fault plan the invariants
+// can flicker — a blackout opens a hole, healing closes it — so a
+// single OK evaluation (what RunToFixpoint accepts) is not evidence of
+// convergence; a streak is.
+//
+// The run is deterministic: identical (Options, fault plan, prior
+// history) replays the identical sweep/fault schedule and returns the
+// identical report.
+func (s *Sim) RunChaos(mode check.Mode, streak, budget int) ChaosReport {
+	if streak < 1 {
+		streak = 1
+	}
+	var rep ChaosReport
+	start := s.Net.Engine().Now()
+	run := 0           // current consecutive-OK streak
+	streakStart := 0.0 // virtual time at which the current streak began
+	for i := 0; i <= budget; i++ {
+		if check.Fixpoint(s.Net.Snapshot(), mode).OK() {
+			if run == 0 {
+				streakStart = s.Net.Engine().Now()
+			}
+			run++
+			if run >= streak {
+				rep.Converged = true
+				rep.HealTime = streakStart - start
+				rep.Retries = s.Net.Medium().Stats().Retries
+				return rep
+			}
+		} else {
+			run = 0
+			rep.Violations++
+		}
+		if i < budget {
+			s.RunSweeps(1)
+			rep.Sweeps++
+		}
+	}
+	rep.Retries = s.Net.Medium().Stats().Retries
+	return rep
+}

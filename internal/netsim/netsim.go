@@ -17,9 +17,11 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"gs3/internal/check"
 	"gs3/internal/core"
+	"gs3/internal/fault"
 	"gs3/internal/field"
 	"gs3/internal/geom"
 	"gs3/internal/radio"
@@ -27,9 +29,9 @@ import (
 )
 
 // Options describes a scenario. Options is plain data: copy it freely
-// and hand each trial its own copy (with its own Seed) — a copy shares
-// nothing with the original except the Gaps backing array, which Build
-// only reads.
+// and hand each trial its own copy (with its own Seed) — Build takes
+// its own copy of everything it keeps, so a built Sim shares nothing
+// with the Options it came from.
 type Options struct {
 	Config core.Config
 	Radio  radio.Params
@@ -46,6 +48,12 @@ type Options struct {
 	GridJitter float64
 	// Gaps clears circular areas of the deployment.
 	Gaps []field.Gap
+
+	// Faults configures the deterministic fault injector (message loss,
+	// duplication, delay jitter, transient blackouts). The zero plan
+	// runs the reliable radio byte-identically to a build without the
+	// fault layer.
+	Faults fault.Plan
 }
 
 // DefaultOptions returns a dense grid scenario with cell radius r and a
@@ -83,6 +91,11 @@ type Sim struct {
 // call allocates a fresh engine, medium, and RNG, so concurrent Build
 // calls (and the Sims they return) never contend.
 func Build(opt Options) (*Sim, error) {
+	if err := opt.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	// Defensive copy: the caller may mutate its Gaps slice after Build.
+	opt.Gaps = slices.Clone(opt.Gaps)
 	src := rng.New(opt.Seed)
 	var dep field.Deployment
 	var err error
@@ -106,6 +119,16 @@ func Build(opt Options) (*Sim, error) {
 	nw, err := core.NewNetwork(opt.Config, opt.Radio, src.Fork())
 	if err != nil {
 		return nil, err
+	}
+	// The injector gets its own forked stream — and the fork happens
+	// only for an active plan, so zero-fault builds draw exactly the
+	// same RNG sequence as builds that predate the fault layer.
+	if opt.Faults.Active() {
+		inj, err := fault.NewInjector(opt.Faults, src.Fork())
+		if err != nil {
+			return nil, fmt.Errorf("netsim: %w", err)
+		}
+		nw.SetFaults(inj)
 	}
 	for i, p := range dep.Positions {
 		if _, err := nw.AddNode(p, i == 0); err != nil {

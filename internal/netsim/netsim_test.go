@@ -76,6 +76,22 @@ func TestBuildWithGaps(t *testing.T) {
 	}
 }
 
+// Build must take its own copy of Gaps: mutating the caller's slice
+// afterwards may not leak into the built Sim.
+func TestBuildCopiesGaps(t *testing.T) {
+	gaps := []field.Gap{{Center: geom.Point{X: 150, Y: 0}, Radius: 40}}
+	opt := DefaultOptions(100, 300)
+	opt.Gaps = gaps
+	s, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps[0] = field.Gap{Center: geom.Point{}, Radius: 1e9}
+	if s.Opt.Gaps[0].Radius != 40 {
+		t.Fatalf("Sim sees caller's mutation: gap radius %v, want 40", s.Opt.Gaps[0].Radius)
+	}
+}
+
 func TestConfigureReachesFixpoint(t *testing.T) {
 	s := buildConfigured(t, 350)
 	if !check.Fixpoint(s.Net.Snapshot(), check.Static).OK() {
@@ -118,6 +134,43 @@ func TestKillDiskAndHealToStable(t *testing.T) {
 	killed := s.KillDisk(c, 60)
 	if killed == 0 {
 		t.Fatal("nothing killed")
+	}
+	if _, err := s.RunUntilStable(40); err != nil {
+		t.Fatalf("did not re-stabilize: %v", err)
+	}
+}
+
+// A kill centered near the origin shifts the big node's cell IL away,
+// driving the big node into BIG_SLIDE. The head that took over its
+// cell must then root the head graph (distance 0): without that root
+// ParentSeek has no distance-0 anchor and counts to infinity, so head
+// hops inflate every sweep and I1.2 never holds again.
+func TestBigSlideKeepsRootedTree(t *testing.T) {
+	opt := DefaultOptions(100, 300)
+	opt.Seed = 9
+	s, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	s.KillDisk(geom.Point{X: 30, Y: -20}, 60)
+	s.RunSweeps(1)
+	big, _ := s.Net.Snapshot().View(s.Net.BigID())
+	if big.Status != core.StatusBigSlide {
+		t.Fatalf("scenario no longer triggers BIG_SLIDE (big status %v)", big.Status)
+	}
+	// With a rooted tree, hops settle at the graph radius (a handful);
+	// a rootless tree inflates them by ~1 per sweep.
+	s.RunSweeps(12)
+	snap := s.Net.Snapshot()
+	bound := len(snap.Heads())
+	for _, h := range snap.Heads() {
+		if h.Hops > bound {
+			t.Errorf("head %d hops %d > %d: tree is rootless during the slide", h.ID, h.Hops, bound)
+		}
 	}
 	if _, err := s.RunUntilStable(40); err != nil {
 		t.Fatalf("did not re-stabilize: %v", err)

@@ -22,6 +22,7 @@ import (
 	"math"
 	"slices"
 
+	"gs3/internal/fault"
 	"gs3/internal/geom"
 	"gs3/internal/rng"
 )
@@ -66,13 +67,21 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Stats is the medium's traffic accounting.
+// Stats is the medium's traffic accounting. The fault counters stay
+// zero unless an injector is installed (SetFaults), so fault-free runs
+// report exactly the pre-fault numbers.
 type Stats struct {
 	Broadcasts   uint64 // destination-unaware sends
 	Unicasts     uint64 // destination-aware sends
 	Deliveries   uint64 // per-receiver deliveries
-	Dropped      uint64 // per-receiver broadcast losses
+	Dropped      uint64 // per-receiver broadcast losses (BroadcastLoss model)
 	RangeQueries uint64
+
+	FaultDrops    uint64 // deliveries lost to the fault injector
+	FaultDups     uint64 // deliveries duplicated by the fault injector
+	BlackoutDrops uint64 // deliveries lost to a blacked-out endpoint
+	Blackouts     uint64 // blackout episodes started
+	Retries       uint64 // protocol re-issues after a timeout (CountRetry)
 }
 
 // Medium is the shared wireless medium.
@@ -90,6 +99,16 @@ type Medium struct {
 	// WithinRangeAppend destination, so a Broadcast result stays valid
 	// across interleaved range queries (but not across Broadcasts).
 	bcast []NodeID
+	// bcastOut is the surviving-receiver buffer used when a fault
+	// injector is active: duplication can emit two IDs per receiver, so
+	// the in-place ids[:0] aliasing of the fault-free path is unsafe.
+	bcastOut []NodeID
+
+	// inj injects message faults; nil means a perfectly reliable
+	// medium (beyond BroadcastLoss). blackout marks nodes that are
+	// transiently crashed: they neither send nor receive.
+	inj      *fault.Injector
+	blackout map[NodeID]bool
 
 	stats Stats
 
@@ -146,6 +165,48 @@ func (m *Medium) ResetStats() {
 	m.stats = Stats{}
 }
 
+// SetFaults installs (or, with nil, removes) a fault injector. The
+// medium owns no randomness of the injector; it only asks it questions,
+// in deterministic per-receiver order.
+func (m *Medium) SetFaults(inj *fault.Injector) {
+	m.inj = inj
+}
+
+// Faults returns the installed fault injector (nil when the medium is
+// reliable).
+func (m *Medium) Faults() *fault.Injector {
+	return m.inj
+}
+
+// CountRetry records one protocol-level re-issue after a timeout. The
+// counter lives in the medium's Stats so the radio report of a run
+// shows how much extra traffic unreliability caused.
+func (m *Medium) CountRetry() {
+	m.stats.Retries++
+}
+
+// SetBlackout marks id as transiently crashed (true) or restores it
+// (false). A blacked-out node neither sends nor receives, but it keeps
+// its position and protocol state.
+func (m *Medium) SetBlackout(id NodeID, down bool) {
+	if down {
+		if m.blackout == nil {
+			m.blackout = make(map[NodeID]bool)
+		}
+		if !m.blackout[id] {
+			m.blackout[id] = true
+			m.stats.Blackouts++
+		}
+		return
+	}
+	delete(m.blackout, id)
+}
+
+// InBlackout reports whether id is currently blacked out.
+func (m *Medium) InBlackout(id NodeID) bool {
+	return len(m.blackout) > 0 && m.blackout[id]
+}
+
 // TraceTraffic installs fn to be called with the sender position of
 // every transmission. Pass nil to stop tracing.
 func (m *Medium) TraceTraffic(fn func(from geom.Point)) {
@@ -173,6 +234,7 @@ func (m *Medium) Remove(id NodeID) {
 		m.removeFromGrid(id, p)
 		delete(m.positions, id)
 		delete(m.alive, id)
+		delete(m.blackout, id)
 	}
 }
 
@@ -263,11 +325,18 @@ func (m *Medium) Delay(dist float64) float64 {
 
 // Broadcast performs a destination-unaware transmission from sender to
 // all nodes within radius. Each receiver independently drops the message
-// with probability BroadcastLoss. It returns the surviving receiver IDs
-// (ascending) and the worst-case delay (to the farthest receiver).
+// with probability BroadcastLoss, and — when a fault injector is
+// installed — with the injector's per-delivery loss; surviving
+// deliveries may be duplicated (the receiver appears twice, adjacent).
+// It returns the surviving receiver IDs (non-decreasing) and the
+// worst-case delay (to the farthest receiver, jittered by the injector).
+// A blacked-out sender transmits nothing; blacked-out receivers hear
+// nothing.
 //
 // Loss randomness is consumed once per in-range receiver in ascending
-// ID order — the determinism contract RNG-replay tests rely on.
+// ID order — the determinism contract RNG-replay tests rely on. The
+// injector's draws come from its own source, in the same per-receiver
+// order, so they never perturb the BroadcastLoss stream.
 //
 // The returned slice is backed by a per-Medium buffer: it stays valid
 // across range queries and unicasts, but the next Broadcast on this
@@ -278,6 +347,9 @@ func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 	if !ok {
 		return nil, 0
 	}
+	if m.InBlackout(sender) {
+		return nil, 0
+	}
 	m.stats.Broadcasts++
 	if m.trace != nil {
 		m.trace(p)
@@ -285,23 +357,47 @@ func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 	m.bcast = m.WithinRangeAppend(m.bcast[:0], p, radius, sender)
 	ids := m.bcast
 	out := ids[:0]
+	if m.inj.Active() {
+		// Duplication can emit two IDs for one consumed receiver, so
+		// building in place over ids would overwrite unread entries.
+		out = m.bcastOut[:0]
+	}
 	var maxDist float64
 	for _, id := range ids {
+		if m.InBlackout(id) {
+			m.stats.BlackoutDrops++
+			continue
+		}
 		if m.params.BroadcastLoss > 0 && m.src.Float64() < m.params.BroadcastLoss {
 			m.stats.Dropped++
 			continue
 		}
+		if m.inj.DropDelivery() {
+			m.stats.FaultDrops++
+			continue
+		}
 		out = append(out, id)
+		if m.inj.DupDelivery() {
+			m.stats.FaultDups++
+			out = append(out, id)
+		}
 		if d := m.positions[id].Dist(p); d > maxDist {
 			maxDist = d
 		}
 	}
 	m.stats.Deliveries += uint64(len(out))
-	return out, m.Delay(maxDist)
+	if m.inj.Active() {
+		m.bcastOut = out
+	}
+	return out, m.inj.JitterDelay(m.Delay(maxDist))
 }
 
-// Unicast performs a reliable destination-aware transmission. It returns
-// the delay, and an error if either endpoint is absent or out of range.
+// Unicast performs a destination-aware transmission. It returns the
+// delay (jittered when a fault injector is installed), and an error if
+// either endpoint is absent or out of range. The model's base
+// assumption makes unicast reliable; an installed fault injector
+// weakens it — a blacked-out endpoint or an injected loss turns the
+// send into an error, which the caller must treat as a timeout.
 func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
 	pf, ok := m.positions[from]
 	if !ok {
@@ -311,16 +407,28 @@ func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("radio: receiver %d not on medium", to)
 	}
+	if m.InBlackout(from) {
+		m.stats.BlackoutDrops++
+		return 0, fmt.Errorf("radio: sender %d blacked out", from)
+	}
 	d := pf.Dist(pt)
 	if d > maxRange {
 		return 0, fmt.Errorf("radio: %d→%d distance %.3g exceeds range %.3g", from, to, d, maxRange)
 	}
 	m.stats.Unicasts++
-	m.stats.Deliveries++
 	if m.trace != nil {
 		m.trace(pf)
 	}
-	return m.Delay(d), nil
+	if m.InBlackout(to) {
+		m.stats.BlackoutDrops++
+		return 0, fmt.Errorf("radio: receiver %d blacked out", to)
+	}
+	if m.inj.DropDelivery() {
+		m.stats.FaultDrops++
+		return 0, fmt.Errorf("radio: %d→%d delivery lost", from, to)
+	}
+	m.stats.Deliveries++
+	return m.inj.JitterDelay(m.Delay(d)), nil
 }
 
 // Dist returns the distance between two on-medium nodes, or +Inf if
