@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json smoke fuzz-smoke chaos check
+.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos goldens golden-diff check
 
 all: check
 
@@ -26,14 +26,22 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Archive the perf-sensitive micro/macro benchmarks into BENCH_PR2.json
-# under the "post-pr2" label (see cmd/benchjson). Override RUN to record
-# a different label, e.g. `make bench-json RUN=pre-pr3`.
-RUN ?= post-pr2
+# Archive the perf-sensitive micro/macro benchmarks into BENCH_FILE
+# under the RUN label (see cmd/benchjson). Override RUN to record a
+# different label, e.g. `make bench-json RUN=pre-pr6`.
+RUN ?= post-pr5
+BENCH_FILE ?= BENCH_PR5.json
 bench-json:
-	$(GO) test -bench='ConfigureStructure|WithinRange|Broadcast|SweepSteadyState|InvariantCheck' \
+	$(GO) test -bench='ConfigureStructure|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck' \
 		-benchmem -run='^$$' . ./internal/radio | \
-		$(GO) run ./cmd/benchjson -file BENCH_PR2.json -run $(RUN)
+		$(GO) run ./cmd/benchjson -file $(BENCH_FILE) -run $(RUN)
+
+# One iteration of every benchmark — a cheap compile-and-run gate that
+# keeps the benchmark suite from bit-rotting. -short skips the heavy
+# scaling sweeps; a single iteration proves every other benchmark still
+# builds, runs, and passes its internal assertions.
+bench-smoke:
+	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./...
 
 # Parallel-vs-serial scaling-sweep smoke benchmark only.
 smoke:
@@ -56,4 +64,13 @@ chaos:
 	$(GO) run ./cmd/gs3sim -region 300 -loss 0.2 -blackout-rate 0.02 -blackout-sweeps 3 \
 		-chaos -sweeps 120 -seed 7
 
-check: build vet race fuzz-smoke chaos
+# Re-archive the golden experiment stdout under testdata/goldens/.
+goldens:
+	./scripts/goldens.sh generate
+
+# Replay every golden scenario and diff its stdout byte-for-byte
+# against the archive — the determinism gate for optimization PRs.
+golden-diff:
+	./scripts/goldens.sh diff
+
+check: build vet race bench-smoke golden-diff fuzz-smoke chaos

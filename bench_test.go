@@ -17,6 +17,7 @@ import (
 	"gs3/internal/check"
 	"gs3/internal/core"
 	"gs3/internal/exp"
+	"gs3/internal/geom"
 	"gs3/internal/netsim"
 	"gs3/internal/runner"
 )
@@ -302,6 +303,56 @@ func BenchmarkSweepSteadyState(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunSweeps(1)
+	}
+}
+
+// BenchmarkSweepSteadyStateLarge is the settled-round benchmark at
+// 5,000+ nodes. At this scale a settled round is almost entirely
+// quiescent replays, so ns/op tracks the cache fast path and the
+// per-sweep mandatory work (counters, energy, batch dispatch) rather
+// than neighborhood scans.
+func BenchmarkSweepSteadyStateLarge(b *testing.B) {
+	s, err := netsim.Build(netsim.DefaultOptions(100, 850))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n := len(s.Dep.Positions); n < 5000 {
+		b.Fatalf("deployment too small for the large benchmark: %d nodes", n)
+	}
+	if _, err := s.Configure(); err != nil {
+		b.Fatal(err)
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	s.RunSweeps(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunSweeps(1)
+	}
+}
+
+// BenchmarkSweepAfterFault measures the expensive end of the cache
+// spectrum: the three heartbeat rounds right after a cell-sized kill,
+// when every cache in the blast region is invalid and the sweeps do
+// real detection and healing. Each iteration rebuilds and settles the
+// network off the clock so the timed region is stationary.
+func BenchmarkSweepAfterFault(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := netsim.Build(netsim.DefaultOptions(100, 300))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Configure(); err != nil {
+			b.Fatal(err)
+		}
+		s.Net.StartMaintenance(core.VariantD)
+		s.RunSweeps(5)
+		cfg := s.Opt.Config
+		b.StartTimer()
+		s.KillDisk(geom.Point{X: 120}, cfg.Rt)
+		s.RunSweeps(3)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"gs3/internal/analysis"
 	"gs3/internal/exp"
+	"gs3/internal/profiling"
 	"gs3/internal/runner"
 )
 
@@ -234,7 +235,7 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out *os.File) (retErr error) {
 	fs := flag.NewFlagSet("gs3bench", flag.ContinueOnError)
 	var (
 		which    = fs.String("exp", "all", "comma-separated experiment IDs, or \"all\"")
@@ -243,10 +244,21 @@ func run(args []string, out *os.File) error {
 		quick    = fs.Bool("quick", false, "smaller parameter sweeps")
 		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS)")
 		seq      = fs.Bool("seq", false, "run trials strictly serially (same output, slower)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	exps := experiments()
 	if *list {
 		for _, e := range exps {

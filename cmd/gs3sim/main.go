@@ -37,6 +37,7 @@ import (
 	"gs3/internal/fault"
 	"gs3/internal/geom"
 	"gs3/internal/netsim"
+	"gs3/internal/profiling"
 	"gs3/internal/render"
 	"gs3/internal/runner"
 	"gs3/internal/trace"
@@ -66,7 +67,7 @@ type scenario struct {
 	quiet    bool
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("gs3sim", flag.ContinueOnError)
 	var (
 		r        = fs.Float64("r", 100, "ideal cell radius R")
@@ -91,6 +92,8 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 1, "seed replicates of the scenario (seeds derived from -seed)")
 		parallel = fs.Int("parallel", 0, "workers for -trials fan-out (0 = GOMAXPROCS)")
 		seq      = fs.Bool("seq", false, "run trials strictly serially (same reports, slower)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +101,15 @@ func run(args []string) error {
 	if *trials < 1 {
 		return fmt.Errorf("-trials must be at least 1, got %d", *trials)
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	base := scenario{
 		mobile:   *mobile,

@@ -26,6 +26,7 @@ func (nw *Network) StartConfiguration() error {
 	big.Parent = nw.bigID // P(H₀) = H₀
 	big.ParentIL = pos
 	big.Hops = 0
+	nw.touch(nw.bigID)
 	nw.scheduleHeadOrg(nw.bigID, 0)
 	return nil
 }
@@ -169,7 +170,10 @@ func (nw *Network) HeadOrg(id radio.NodeID) {
 		}
 		nw.promoteToHead(best, il, h, h.Hops+1)
 		nw.linkNeighbors(id, best)
-		h.Children = addUnique(h.Children, best)
+		if !containsID(h.Children, best) {
+			h.Children = append(h.Children, best)
+			nw.touch(id)
+		}
 		nw.scheduleHeadOrg(best, nw.orgLatency())
 	}
 
@@ -182,7 +186,10 @@ func (nw *Network) HeadOrg(id radio.NodeID) {
 		}
 	}
 
-	h.Status = StatusWork
+	if h.Status != StatusWork {
+		h.Status = StatusWork
+		nw.touch(id)
+	}
 	nw.scheduleOrgRetry(id, 1)
 }
 
@@ -238,6 +245,7 @@ func (nw *Network) promoteToHead(id radio.NodeID, il geom.Point, scanner *Node, 
 	n.Hops = hops
 	n.Head = radio.None
 	n.Candidate = false
+	nw.touch(id)
 	nw.metrics.HeadsSelected++
 	nw.emit(trace.KindHeadSelected, id, scanner.ID, il)
 }
@@ -251,8 +259,14 @@ func (nw *Network) linkNeighbors(a, b radio.NodeID) {
 	if an == nil || bn == nil {
 		return
 	}
-	an.Neighbors = addUnique(an.Neighbors, b)
-	bn.Neighbors = addUnique(bn.Neighbors, a)
+	if !containsID(an.Neighbors, b) {
+		an.Neighbors = append(an.Neighbors, b)
+		nw.touch(a)
+	}
+	if !containsID(bn.Neighbors, a) {
+		bn.Neighbors = append(bn.Neighbors, a)
+		nw.touch(b)
+	}
 }
 
 // ChooseHead runs ASSOCIATE_ORG_RESP for small node id: among the alive
@@ -269,16 +283,26 @@ func (nw *Network) ChooseHead(id radio.NodeID) radio.NodeID {
 	heads := nw.reachableHeadsAt(p, nw.cfg.SearchRadius())
 	best, ok := BestCandidate(p, nw.cfg.GR, heads, nw.Position)
 	if !ok {
-		n.becomeBootup()
+		if n.Status != StatusBootup || n.Head != radio.None || n.Candidate {
+			n.becomeBootup()
+			nw.touch(id)
+		}
 		return radio.None
 	}
-	n.becomeAssociate(best)
 	bn := nw.nodes[best]
-	n.Candidate = nw.Position(id).Dist(bn.IL) <= nw.cfg.Rt
-	if n.Candidate {
-		// Candidates replicate the cell state from the HeadSet
-		// broadcast so the cell survives its head's death.
-		n.CellIL, n.CellOIL, n.CellSpiral = bn.IL, bn.OIL, bn.Spiral
+	cand := p.Dist(bn.IL) <= nw.cfg.Rt
+	// Guarded on change: a settled associate re-choosing the same head
+	// (the steady-state outcome every sweep) stays epoch-quiet.
+	if n.Status != StatusAssociate || n.Head != best || n.Candidate != cand ||
+		(cand && (n.CellIL != bn.IL || n.CellOIL != bn.OIL || n.CellSpiral != bn.Spiral)) {
+		n.becomeAssociate(best)
+		n.Candidate = cand
+		if cand {
+			// Candidates replicate the cell state from the HeadSet
+			// broadcast so the cell survives its head's death.
+			n.CellIL, n.CellOIL, n.CellSpiral = bn.IL, bn.OIL, bn.Spiral
+		}
+		nw.touch(id)
 	}
 	return best
 }

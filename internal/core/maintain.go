@@ -6,6 +6,7 @@ import (
 	"gs3/internal/geom"
 	"gs3/internal/hexlat"
 	"gs3/internal/radio"
+	"gs3/internal/sim"
 	"gs3/internal/trace"
 )
 
@@ -52,14 +53,103 @@ func (nw *Network) StartMaintenance(v Variant) {
 	}
 }
 
-// StopMaintenance stops rescheduling sweeps; already-queued sweeps still
-// fire but do nothing.
+// StopMaintenance stops the sweep loop and eagerly drops every queued
+// sweep batch and per-node sweep timer from the engine, so nothing
+// keeps retaining the network through dead closures.
 func (nw *Network) StopMaintenance() {
 	nw.maintaining = false
+	for _, b := range nw.pending {
+		nw.eng.Remove(b.handle)
+		nw.recycleBatch(b)
+	}
+	nw.pending = nw.pending[:0]
+	for at := range nw.batches {
+		delete(nw.batches, at)
+	}
+	for id, h := range nw.sweepTimers {
+		nw.eng.Remove(h)
+		delete(nw.sweepTimers, id)
+	}
 }
 
+// scheduleSweep queues node id's next maintenance sweep after delay.
+//
+// The common (jitter-free) path batches: consecutively scheduled sweeps
+// due at the same instant share one engine event, and the batch
+// executes them in append order. This reproduces per-event scheduling
+// exactly, because a batch is sealed the moment any other event is
+// scheduled (Engine.Scheduled moved past its mark): an event due at the
+// same instant then fires between the sealed batch and the next one —
+// precisely where its sequence number would have put it among per-node
+// sweep events. With delay jitter active each node needs its own
+// independently jittered fire time, so scheduling falls back to one
+// event per node, tracked for eager removal on stop.
 func (nw *Network) scheduleSweep(id radio.NodeID, delay float64) {
-	nw.eng.After(nw.jittered(delay), "sweep", func() { nw.sweep(id) })
+	if nw.faults.Plan().Jitter > 0 {
+		h := nw.eng.After(nw.jittered(delay), "sweep", func() { nw.sweep(id) })
+		if nw.sweepTimers == nil {
+			nw.sweepTimers = make(map[radio.NodeID]sim.Handle)
+		}
+		nw.sweepTimers[id] = h
+		return
+	}
+	at := nw.eng.Now() + delay
+	b := nw.batches[at]
+	if b == nil || nw.eng.Scheduled()-b.seqMark != nw.batchEvents-b.evMark {
+		b = nw.newBatch()
+		nw.batches[at] = b // seals any previous batch for this time
+		b.handle = nw.eng.After(delay, "sweep_batch", func() { nw.runSweepBatch(b, at) })
+		nw.batchEvents++
+		b.seqMark = nw.eng.Scheduled()
+		b.evMark = nw.batchEvents
+		b.idx = len(nw.pending)
+		nw.pending = append(nw.pending, b)
+	}
+	b.ids = append(b.ids, id)
+}
+
+// runSweepBatch fires batch b's sweeps in scheduling order. Sweeps
+// reschedule into strictly later batches (HeartbeatInterval is
+// validated positive), so the slice never grows under the iteration.
+func (nw *Network) runSweepBatch(b *sweepBatch, at sim.Time) {
+	if nw.batches[at] == b {
+		delete(nw.batches, at)
+	}
+	nw.unpend(b)
+	for _, id := range b.ids {
+		nw.sweep(id)
+	}
+	nw.recycleBatch(b)
+}
+
+// unpend swap-removes b from the pending list.
+func (nw *Network) unpend(b *sweepBatch) {
+	last := len(nw.pending) - 1
+	if b.idx < last {
+		moved := nw.pending[last]
+		nw.pending[b.idx] = moved
+		moved.idx = b.idx
+	}
+	nw.pending[last] = nil
+	nw.pending = nw.pending[:last]
+}
+
+func (nw *Network) newBatch() *sweepBatch {
+	if n := len(nw.batchFree); n > 0 {
+		b := nw.batchFree[n-1]
+		nw.batchFree = nw.batchFree[:n-1]
+		return b
+	}
+	return &sweepBatch{}
+}
+
+func (nw *Network) recycleBatch(b *sweepBatch) {
+	b.ids = b.ids[:0]
+	b.handle = sim.Handle{}
+	b.seqMark = 0
+	b.evMark = 0
+	b.idx = -1
+	nw.batchFree = append(nw.batchFree, b)
 }
 
 // sweep is one maintenance round at node id: heartbeat exchange,
@@ -68,30 +158,56 @@ func (nw *Network) sweep(id radio.NodeID) {
 	if !nw.maintaining {
 		return
 	}
+	if nw.sweepOnce(id) {
+		nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+	}
+}
+
+// sweepOnce executes the body of one maintenance round at node id and
+// reports whether the node should be rescheduled. It is the unit the
+// quiescence cache elides: when the node's recorded sweep is provably
+// still current, only the mandatory per-sweep work (counters, energy)
+// happens and the recorded accounting is replayed.
+func (nw *Network) sweepOnce(id radio.NodeID) bool {
 	n := nw.nodes[id]
 	if n == nil || n.Status == StatusDead {
-		return
+		return false
 	}
 	// Transient blackout (fault layer): a blacked-out node keeps its
 	// state but does nothing — its radio is off — until the restore event
 	// brings it back. Small nodes roll the blackout-start dice once per
 	// sweep; the big node is mains-powered and exempt.
 	if nw.med.InBlackout(id) {
-		nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
-		return
+		return true
 	}
 	if !n.IsBig {
 		if sweeps, ok := nw.faults.BlackoutStart(); ok {
 			nw.beginBlackout(id, sweeps*nw.cfg.HeartbeatInterval)
-			nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
-			return
+			return true
 		}
 	}
 	n.sweep++
 
 	nw.drainEnergy(n)
 	if n.Status == StatusDead {
-		return
+		return false
+	}
+
+	if nw.quiescentSweep(n) {
+		return true
+	}
+
+	// Record a fresh quiescent delta only when the full sweep proves
+	// itself a no-op: the topology epoch not moving across the body
+	// means no touch fired, i.e. every write was value-identical.
+	cacheable := nw.cacheable() && !n.IsBig
+	var epochBefore uint64
+	var statsBefore radio.Stats
+	var metricsBefore Metrics
+	if cacheable {
+		epochBefore = nw.med.Epoch()
+		statsBefore = nw.med.Stats()
+		metricsBefore = nw.metrics
 	}
 
 	switch {
@@ -111,7 +227,130 @@ func (nw *Network) sweep(id radio.NodeID) {
 		nw.ChooseHead(id)
 	}
 
-	nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+	if cacheable && nw.med.Epoch() == epochBefore {
+		nw.recordSweep(n, statsBefore, metricsBefore)
+	}
+	return true
+}
+
+// quiescentSweep is the fast path: if the node's recorded sweep delta
+// is still provably current — its flavor is valid and no topology epoch
+// in its query cone moved since it was recorded — replay the recorded
+// accounting (counters, and for rescan sweeps the head-org trace and
+// footprint sends) and skip the scans entirely. Returns false when the
+// full sweep must run.
+func (nw *Network) quiescentSweep(n *Node) bool {
+	if n.IsBig || !nw.cacheable() {
+		return false
+	}
+	c := &n.cache
+	isHead := n.Status.IsHeadRole()
+	var d *sweepDelta
+	rescanDue := false
+	if isHead {
+		// A pending child repair or an imminent low-energy retreat is
+		// precisely a non-quiescent sweep; and only a head recorded
+		// sane may skip a SANITY_CHECK round (an insane one might have
+		// to retreat this time).
+		if n.pendingChildRepair || nw.lowEnergy(n) {
+			return false
+		}
+		if !c.sane && n.sweep%nw.cfg.SanityCheckEvery == 0 {
+			return false
+		}
+		rescanDue = n.sweep%nw.cfg.BoundaryRescanEvery == 0
+	}
+	if rescanDue {
+		d = &c.rescan
+	} else {
+		d = &c.plain
+	}
+	if !d.valid {
+		return false
+	}
+	if world := nw.med.Epoch(); world != c.worldStamp {
+		if nw.med.RegionEpoch(nw.Position(n.ID), nw.coneRadius(isHead)) != c.regionStamp {
+			return false
+		}
+		c.worldStamp = world
+	}
+	nw.med.AddStats(d.stats)
+	nw.addMetrics(d.metrics)
+	if rescanDue {
+		// The elided rescan's externally visible side: the HEAD_ORG
+		// trace event and the two org broadcasts' footprint sends.
+		nw.emit(trace.KindHeadOrg, n.ID, radio.None, n.IL)
+		nw.med.TraceSend(n.ID)
+		nw.med.TraceSend(n.ID)
+	}
+	return true
+}
+
+// recordSweep stores the accounting of a sweep that changed nothing,
+// stamped with the current epoch of the node's query cone. A rescan
+// sweep (it ran HEAD_ORG exactly once) lands in the rescan flavor,
+// every other no-op sweep in the plain flavor. If the cone's epoch
+// moved since the sibling flavor was recorded, that sibling describes a
+// stale neighborhood and is dropped.
+func (nw *Network) recordSweep(n *Node, statsBefore radio.Stats, metricsBefore Metrics) {
+	c := &n.cache
+	isHead := n.Status.IsHeadRole()
+	cone := nw.coneRadius(isHead)
+	// A sweep that reads a live node beyond the cone (possible when
+	// mobility carried a linked node away before the link healed) cannot
+	// be stamped: changes at that node would not move the cone's epochs.
+	if !nw.linksLocal(n, cone) {
+		return
+	}
+	region := nw.med.RegionEpoch(nw.Position(n.ID), cone)
+	if region != c.regionStamp {
+		c.plain.valid = false
+		c.rescan.valid = false
+		c.regionStamp = region
+	}
+	d := &c.plain
+	if nw.metrics.HeadOrgs > metricsBefore.HeadOrgs {
+		d = &c.rescan
+	}
+	d.valid = true
+	d.stats = nw.med.Stats().Sub(statsBefore)
+	d.metrics = nw.metrics.sub(metricsBefore)
+	c.worldStamp = nw.med.Epoch()
+	if isHead {
+		c.sane = nw.headStateValid(n)
+	}
+}
+
+// linksLocal reports whether every live node n references sits inside
+// cone of n's position. Dead links are fine — a removed node's state is
+// frozen, so nothing it does can change a replayed sweep — but a live
+// link beyond the cone could change state without moving any epoch the
+// cache stamps cover, so such a sweep is never recorded. Links only get
+// that far through mobility, and the mover's old-bucket epoch bump
+// invalidates the cache that watched it leave.
+func (nw *Network) linksLocal(n *Node, cone float64) bool {
+	pos := nw.Position(n.ID)
+	local := func(id radio.NodeID) bool {
+		if id == radio.None || id == n.ID || !nw.med.Alive(id) {
+			return true
+		}
+		p, _ := nw.med.Position(id)
+		return pos.Dist(p) <= cone
+	}
+	if !local(n.Parent) || !local(n.Head) {
+		return false
+	}
+	for _, id := range n.Children {
+		if !local(id) {
+			return false
+		}
+	}
+	for _, id := range n.Neighbors {
+		if !local(id) {
+			return false
+		}
+	}
+	return true
 }
 
 // beginBlackout takes node id's radio down for dur virtual time and
@@ -139,6 +378,7 @@ func (nw *Network) restoreFromBlackout(id radio.NodeID) {
 	for _, hid := range nw.headRoleAt(n.IL, nw.cfg.SearchRadius()) {
 		if hid != id && nw.nodes[hid].IL.Dist(n.IL) <= nw.cfg.Rt {
 			n.becomeBootup()
+			nw.touch(id)
 			nw.ChooseHead(id)
 			return
 		}
@@ -180,11 +420,17 @@ func (nw *Network) lowEnergy(n *Node) bool {
 func (nw *Network) headIntraCell(h *Node) {
 	candidates := nw.Candidates(h.ID)
 
-	// Heartbeat: candidates refresh their copy of the cell state.
+	// Heartbeat: candidates refresh their copy of the cell state. A
+	// replica that is already current is left untouched so a steady
+	// state stays epoch-quiet.
 	for _, cid := range candidates {
 		c := nw.nodes[cid]
+		if c.Candidate && c.CellIL == h.IL && c.CellOIL == h.OIL && c.CellSpiral == h.Spiral {
+			continue
+		}
 		c.Candidate = true
 		c.CellIL, c.CellOIL, c.CellSpiral = h.IL, h.OIL, h.Spiral
+		nw.touch(cid)
 	}
 
 	if nw.lowEnergy(h) && len(candidates) > 0 {
@@ -243,6 +489,7 @@ func (nw *Network) StrengthenCell(id radio.NodeID) {
 		nw.emit(trace.KindCellShift, h.ID, radio.None, il)
 		h.IL = il
 		h.Spiral = idx
+		nw.touch(h.ID)
 		best, _ := BestCandidate(il, cfg.GR, ca, nw.Position)
 		if best != h.ID {
 			nw.transferHeadRole(h, nw.nodes[best])
@@ -299,6 +546,8 @@ func (nw *Network) transferHeadRole(old, repl *Node) {
 	repl.Candidate = false
 	repl.Children = removeID(repl.Children, repl.ID)
 	repl.Neighbors = removeID(repl.Neighbors, repl.ID)
+	nw.touch(repl.ID)
+	nw.touch(old.ID)
 
 	nw.repointLinks(old.ID, repl.ID)
 
@@ -323,25 +572,34 @@ func (nw *Network) repointLinks(old, repl radio.NodeID) {
 		if n == nil || id == old || id == repl {
 			continue
 		}
+		changed := false
 		if n.Parent == old {
 			n.Parent = repl
 			if rn := nw.nodes[repl]; rn != nil {
 				n.ParentIL = rn.IL
 			}
+			changed = true
 		}
 		if containsID(n.Children, old) {
 			n.removeChild(old)
 			n.Children = addUnique(n.Children, repl)
+			changed = true
 		}
 		if containsID(n.Neighbors, old) {
 			n.removeNeighbor(old)
 			n.Neighbors = addUnique(n.Neighbors, repl)
+			changed = true
 		}
 		if n.Status == StatusAssociate && n.Head == old {
 			n.Head = repl
+			changed = true
 		}
 		if n.Proxy == old {
 			n.Proxy = repl
+			changed = true
+		}
+		if changed {
+			nw.touch(id)
 		}
 	}
 }
@@ -358,13 +616,16 @@ func (nw *Network) AbandonCell(id radio.NodeID) {
 	nw.emit(trace.KindAbandon, id, radio.None, h.IL)
 	for _, aid := range nw.Associates(id) {
 		nw.nodes[aid].becomeBootup()
+		nw.touch(aid)
 	}
 	if h.IsBig {
 		h.Status = StatusBigSlide
 		h.resetHeadState()
+		nw.touch(id)
 		return
 	}
 	h.becomeBootup()
+	nw.touch(id)
 }
 
 // associateIntraCell is the maintenance sweep of an associate (and of a
@@ -379,9 +640,18 @@ func (nw *Network) associateIntraCell(n *Node) {
 
 	if headOK && head.Status.IsHeadRole() {
 		// Heartbeat succeeded: re-evaluate candidacy and head choice.
-		n.Candidate = nw.Position(n.ID).Dist(head.IL) <= nw.cfg.Rt
-		if n.Candidate {
-			n.CellIL, n.CellOIL, n.CellSpiral = head.IL, head.OIL, head.Spiral
+		// Writes are guarded on change so a settled cell stays
+		// epoch-quiet sweep after sweep.
+		cand := nw.Position(n.ID).Dist(head.IL) <= nw.cfg.Rt
+		if cand {
+			if !n.Candidate || n.CellIL != head.IL || n.CellOIL != head.OIL || n.CellSpiral != head.Spiral {
+				n.Candidate = true
+				n.CellIL, n.CellOIL, n.CellSpiral = head.IL, head.OIL, head.Spiral
+				nw.touch(n.ID)
+			}
+		} else if n.Candidate {
+			n.Candidate = false
+			nw.touch(n.ID)
 		}
 		nw.ChooseHead(n.ID) // switch if a better head appeared
 		return
@@ -393,6 +663,7 @@ func (nw *Network) associateIntraCell(n *Node) {
 		return
 	}
 	n.becomeBootup()
+	nw.touch(n.ID)
 	nw.ChooseHead(n.ID)
 }
 
@@ -410,6 +681,7 @@ func (nw *Network) electFromCandidates(detector *Node) {
 	best, ok := BestCandidate(il, nw.cfg.GR, candidates, nw.Position)
 	if !ok {
 		detector.becomeBootup()
+		nw.touch(detector.ID)
 		nw.ChooseHead(detector.ID)
 		return
 	}
@@ -420,6 +692,7 @@ func (nw *Network) electFromCandidates(detector *Node) {
 	repl.Hops = unknownHops
 	repl.Head = radio.None
 	repl.Candidate = false
+	nw.touch(best)
 	nw.metrics.Promotions++
 	nw.metrics.HeadShifts++
 	nw.emit(trace.KindPromotion, best, deadHead, repl.IL)
@@ -458,24 +731,46 @@ func (nw *Network) headInterCell(h *Node) {
 	// head_inter_alive: the neighbor set is re-derived from the medium
 	// every sweep, which makes it self-stabilizing by construction. The
 	// query result aliases the network scratch buffer, so it is copied
-	// into the node's own (capacity-reused) Neighbors slice.
+	// into the node's own (capacity-reused) Neighbors slice — but only
+	// when it actually differs, to keep a steady state epoch-quiet.
 	pos := nw.Position(h.ID)
 	neighbors := nw.reachableHeadsAt(pos, cfg.SearchRadius())
-	h.Neighbors = h.Neighbors[:0]
+	same := true
+	j := 0
 	for _, id := range neighbors {
-		if id != h.ID {
-			h.Neighbors = append(h.Neighbors, id)
+		if id == h.ID {
+			continue
 		}
+		if j >= len(h.Neighbors) || h.Neighbors[j] != id {
+			same = false
+			break
+		}
+		j++
+	}
+	if !same || j != len(h.Neighbors) {
+		h.Neighbors = h.Neighbors[:0]
+		for _, id := range neighbors {
+			if id != h.ID {
+				h.Neighbors = append(h.Neighbors, id)
+			}
+		}
+		nw.touch(h.ID)
 	}
 
 	// Children list hygiene: drop entries that are no longer heads.
+	// Backward iteration keeps the in-place removal safe (removeID
+	// shifts the tail left, which only re-visits already-kept entries).
 	lostChild := false
-	for _, c := range append([]radio.NodeID(nil), h.Children...) {
+	for i := len(h.Children) - 1; i >= 0; i-- {
+		c := h.Children[i]
 		cn := nw.nodes[c]
 		if cn == nil || !nw.Alive(c) || !cn.Status.IsHeadRole() {
 			h.removeChild(c)
 			lostChild = true
 		}
+	}
+	if lostChild {
+		nw.touch(h.ID)
 	}
 
 	nw.ParentSeek(h.ID)
@@ -502,9 +797,12 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 		return
 	}
 	if nw.isRootHead(h) {
-		h.Hops = 0
-		h.Parent = id
-		h.ParentIL = h.IL
+		if h.Hops != 0 || h.Parent != id || h.ParentIL != h.IL {
+			h.Hops = 0
+			h.Parent = id
+			h.ParentIL = h.IL
+			nw.touch(id)
+		}
 		return
 	}
 	nw.metrics.ParentSeeks++
@@ -525,7 +823,10 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	if bestParent == radio.None {
 		// Disconnected from every head: hold state; a later sweep or a
 		// neighbor's rescan will reconnect us.
-		h.Hops = unknownHops
+		if h.Hops != unknownHops {
+			h.Hops = unknownHops
+			nw.touch(id)
+		}
 		return
 	}
 	// Paper rule: switch only when a neighbor is strictly closer to the
@@ -535,19 +836,25 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	if cp := nw.nodes[h.Parent]; h.Parent != radio.None && cp != nil &&
 		nw.Reachable(h.Parent) && cp.Status.IsHeadRole() &&
 		containsID(h.Neighbors, h.Parent) && cp.Hops <= bestHops {
-		h.ParentIL = cp.IL
-		h.Hops = cp.Hops + 1
+		if h.ParentIL != cp.IL || h.Hops != cp.Hops+1 {
+			h.ParentIL = cp.IL
+			h.Hops = cp.Hops + 1
+			nw.touch(id)
+		}
 		return
 	}
 	old := h.Parent
 	h.Parent = bestParent
 	h.ParentIL = nw.nodes[bestParent].IL
 	h.Hops = bestHops + 1
+	nw.touch(id)
 	if old != bestParent {
 		if on := nw.nodes[old]; on != nil {
 			on.removeChild(id)
+			nw.touch(old)
 		}
 		nw.nodes[bestParent].Children = addUnique(nw.nodes[bestParent].Children, id)
+		nw.touch(bestParent)
 		nw.emit(trace.KindParentChange, id, bestParent, h.IL)
 	}
 }
@@ -588,7 +895,10 @@ func (nw *Network) RescanAround(id radio.NodeID) {
 	cfg := nw.cfg
 	receivers, _ := nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
 
-	var smallNodes []radio.NodeID
+	// The small-node scratch is owned by this frame for the duration:
+	// nothing RescanAround calls synchronously re-enters it.
+	smallNodes := nw.smallBuf[:0]
+	nw.smallBuf = nil
 	for _, rid := range receivers {
 		rn := nw.nodes[rid]
 		if rn == nil || !nw.Alive(rid) {
@@ -615,7 +925,10 @@ func (nw *Network) RescanAround(id radio.NodeID) {
 		}
 		nw.promoteToHead(best, il, h, h.Hops+1)
 		nw.linkNeighbors(id, best)
-		h.Children = addUnique(h.Children, best)
+		if !containsID(h.Children, best) {
+			h.Children = append(h.Children, best)
+			nw.touch(id)
+		}
 		nw.scheduleHeadOrg(best, nw.orgLatency())
 	}
 
@@ -625,6 +938,7 @@ func (nw *Network) RescanAround(id radio.NodeID) {
 			nw.ChooseHead(rid)
 		}
 	}
+	nw.smallBuf = smallNodes
 }
 
 // sixILs returns the six neighboring-cell ILs around h's cell, oriented
@@ -635,7 +949,7 @@ func (nw *Network) sixILs(h *Node) []geom.Point {
 	if ref := h.IL.Sub(h.ParentIL); ref.Len() > 0 {
 		base = ref.Angle()
 	}
-	out := make([]geom.Point, 6)
+	out := nw.ilBuf[:6]
 	for j := 0; j < 6; j++ {
 		out[j] = h.IL.Add(geom.UnitAt(base + float64(j)*math.Pi/3).Scale(nw.cfg.HeadSpacing()))
 	}
@@ -701,8 +1015,10 @@ func (nw *Network) sanityRetreat(h *Node) {
 	id := h.ID
 	for _, aid := range nw.Associates(id) {
 		nw.nodes[aid].becomeBootup()
+		nw.touch(aid)
 	}
 	h.becomeBootup()
+	nw.touch(id)
 	nw.ChooseHead(id)
 }
 

@@ -26,6 +26,7 @@ func (nw *Network) sweepBig(b *Node) {
 		// A freshly perturbed big node re-enters through the same path
 		// as BIG_MOVE: adopt a proxy, then reclaim a cell.
 		b.Status = StatusBigMove
+		nw.touch(b.ID)
 		nw.bigMove(b)
 	}
 }
@@ -46,6 +47,7 @@ func (nw *Network) bigAsHead(b *Node) {
 		}
 		if nw.variant == VariantM {
 			b.Status = StatusBigMove
+			nw.touch(b.ID)
 			nw.adoptProxy(b)
 		}
 		return
@@ -64,6 +66,7 @@ func (nw *Network) bigSlide(b *Node) {
 	if nw.variant == VariantM {
 		// In mobile networks the big node handles this state as a move.
 		b.Status = StatusBigMove
+		nw.touch(b.ID)
 		nw.bigMove(b)
 		return
 	}
@@ -117,6 +120,7 @@ func (nw *Network) adoptProxy(b *Node) {
 	}
 	if best != radio.None && best != b.Proxy {
 		b.Proxy = best
+		nw.touch(b.ID)
 		nw.emit(trace.KindProxyChange, b.ID, best, pos)
 	}
 }
@@ -124,5 +128,8 @@ func (nw *Network) adoptProxy(b *Node) {
 // clearProxy drops the proxy relationship when the big node resumes a
 // head role.
 func (nw *Network) clearProxy(b *Node) {
-	b.Proxy = radio.None
+	if b.Proxy != radio.None {
+		b.Proxy = radio.None
+		nw.touch(b.ID)
+	}
 }

@@ -65,12 +65,60 @@ type Network struct {
 	// results for the same IL loop iteration.
 	caBuf []radio.NodeID
 
+	// smallBuf is the scratch behind RescanAround's small-node receiver
+	// list, and ilBuf the backing array of sixILs; both live across the
+	// whole rescan, so they are separate from the query scratches above.
+	smallBuf []radio.NodeID
+	ilBuf    [6]geom.Point
+
 	// faults, when set, injects radio unreliability and node blackouts
 	// (see internal/fault); nil runs the reliable model unchanged.
 	faults *fault.Injector
 
 	// tracer, when set, records protocol events.
 	tracer *trace.Log
+
+	// cacheOn gates the quiescent-sweep fast path (SetSweepCache). The
+	// cache additionally disables itself whenever the fault layer or a
+	// lossy radio is active: those paths consume randomness per query,
+	// and eliding work would shift the draw order.
+	cacheOn bool
+	// lossy mirrors radio.Params.BroadcastLoss > 0 (fixed at build).
+	lossy bool
+
+	// batches maps a sweep fire time to the open batch of node IDs due
+	// then: one engine event per run of consecutively scheduled sweeps
+	// instead of one per node. A batch is sealed — later sweeps for the
+	// same time open a fresh batch — as soon as any other event is
+	// scheduled, so the relative order of sweeps and non-sweep events at
+	// a shared instant is exactly the per-event order (see
+	// scheduleSweep). pending tracks every undrained batch (open or
+	// sealed) for eager removal on StopMaintenance, and batchFree
+	// recycles drained ones. sweepTimers tracks per-node sweep events in
+	// the jittered-scheduling fallback so stopping maintenance can drop
+	// them eagerly too.
+	batches     map[sim.Time]*sweepBatch
+	pending     []*sweepBatch
+	batchFree   []*sweepBatch
+	batchEvents uint64
+	sweepTimers map[radio.NodeID]sim.Handle
+}
+
+// sweepBatch collects nodes whose maintenance sweeps were scheduled
+// back-to-back for one fire time; runSweepBatch executes them in append
+// (= per-event scheduling) order. seqMark/evMark are the engine's
+// Scheduled reading and the network's batch-creation count right after
+// the batch's own event went in: an append is only legal while every
+// scheduling since has been another batch's creation — a batch for a
+// different fire time cannot interleave at this one's instant, but any
+// other event might, and seals the batch. idx is the batch's position
+// in the network's pending list.
+type sweepBatch struct {
+	ids     []radio.NodeID
+	handle  sim.Handle
+	seqMark uint64
+	evMark  uint64
+	idx     int
 }
 
 // NewNetwork creates an empty network. The big node must be added first
@@ -87,12 +135,15 @@ func NewNetwork(cfg Config, radioParams radio.Params, src *rng.Source) (*Network
 		return nil, err
 	}
 	return &Network{
-		cfg:   cfg,
-		med:   med,
-		eng:   sim.NewEngine(),
-		src:   src,
-		nodes: make(map[radio.NodeID]*Node),
-		bigID: radio.None,
+		cfg:     cfg,
+		med:     med,
+		eng:     sim.NewEngine(),
+		src:     src,
+		nodes:   make(map[radio.NodeID]*Node),
+		bigID:   radio.None,
+		cacheOn: true,
+		lossy:   radioParams.BroadcastLoss > 0,
+		batches: make(map[sim.Time]*sweepBatch),
 	}, nil
 }
 
@@ -125,6 +176,77 @@ func (nw *Network) Medium() *radio.Medium { return nw.med }
 
 // Metrics returns a copy of the protocol action counters.
 func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// sub returns the counter delta m−prev (field-wise).
+func (m Metrics) sub(prev Metrics) Metrics {
+	return Metrics{
+		HeadOrgs:       m.HeadOrgs - prev.HeadOrgs,
+		HeadsSelected:  m.HeadsSelected - prev.HeadsSelected,
+		ReplyMessages:  m.ReplyMessages - prev.ReplyMessages,
+		HeadShifts:     m.HeadShifts - prev.HeadShifts,
+		CellShifts:     m.CellShifts - prev.CellShifts,
+		Abandonments:   m.Abandonments - prev.Abandonments,
+		SanityRetreats: m.SanityRetreats - prev.SanityRetreats,
+		ParentSeeks:    m.ParentSeeks - prev.ParentSeeks,
+		Joins:          m.Joins - prev.Joins,
+		Promotions:     m.Promotions - prev.Promotions,
+	}
+}
+
+// addMetrics credits a recorded delta onto the live counters (the
+// metrics side of replaying an elided sweep).
+func (nw *Network) addMetrics(d Metrics) {
+	nw.metrics.HeadOrgs += d.HeadOrgs
+	nw.metrics.HeadsSelected += d.HeadsSelected
+	nw.metrics.ReplyMessages += d.ReplyMessages
+	nw.metrics.HeadShifts += d.HeadShifts
+	nw.metrics.CellShifts += d.CellShifts
+	nw.metrics.Abandonments += d.Abandonments
+	nw.metrics.SanityRetreats += d.SanityRetreats
+	nw.metrics.ParentSeeks += d.ParentSeeks
+	nw.metrics.Joins += d.Joins
+	nw.metrics.Promotions += d.Promotions
+}
+
+// SetSweepCache enables or disables the quiescent-sweep fast path.
+// With the cache off every sweep re-derives its queries from scratch —
+// the brute-force reference the property tests compare against. The
+// results are identical either way; only the work differs.
+func (nw *Network) SetSweepCache(on bool) { nw.cacheOn = on }
+
+// cacheable reports whether sweep results may be cached at all. Any
+// active fault plan (loss, duplication, jitter, blackouts) or a lossy
+// broadcast model consumes randomness inside the swept queries, and
+// eliding those would shift every later draw — so chaos runs always
+// take the full path.
+func (nw *Network) cacheable() bool {
+	return nw.cacheOn && !nw.lossy && !nw.faults.Active()
+}
+
+// touch records a protocol-state change at node id in the medium's
+// topology epochs, invalidating every sweep cache whose query cone
+// covers the node. Changes to the big node's state are visible to the
+// root test of every head regardless of distance, so they invalidate
+// globally.
+func (nw *Network) touch(id radio.NodeID) {
+	if id == nw.bigID {
+		nw.med.TouchAll()
+		return
+	}
+	nw.med.Touch(id)
+}
+
+// coneRadius bounds how far a node's sweep reads: an associate hears
+// heads within the search radius; a head's boundary rescan additionally
+// lets every small receiver (≤ SearchRadius+Rt away) re-choose among
+// heads within SearchRadius of *it*, so the head's cone is 2·SR+Rt.
+func (nw *Network) coneRadius(isHead bool) float64 {
+	sr := nw.cfg.SearchRadius()
+	if isHead {
+		return 2*sr + nw.cfg.Rt
+	}
+	return sr
+}
 
 // SetFaults installs (or, with nil, removes) a deterministic fault
 // injector on the network and its medium. With faults installed,

@@ -83,6 +83,39 @@ type Node struct {
 	// pendingChildRepair delays parent-side repair of a lost child by
 	// one heartbeat, giving the cell's own head shift priority.
 	pendingChildRepair bool
+	// cache is the node's quiescent-sweep cache (see maintain.go): the
+	// recorded outcome of a sweep that changed nothing, stamped with
+	// the topology epoch of the node's query cone so later sweeps can
+	// skip re-deriving it while the stamp is provably current.
+	cache sweepCache
+}
+
+// sweepDelta is the externally observable accounting of one recorded
+// no-op sweep: the radio and protocol counter increments the sweep
+// produced. A sweep elided by the fast path replays the delta so every
+// printed statistic matches a run that did the work.
+type sweepDelta struct {
+	valid   bool
+	stats   radio.Stats
+	metrics Metrics
+}
+
+// sweepCache holds a node's recorded quiescent sweeps. Two flavors
+// exist because a head's periodic boundary rescan produces a different
+// (but equally state-preserving) counter delta than a plain heartbeat
+// sweep. The stamps tie both flavors to the topology epoch of the
+// node's query cone at record time: worldStamp is the global epoch (an
+// O(1) "nothing anywhere changed" test), regionStamp the cone maximum
+// (the precise test when the world moved elsewhere).
+type sweepCache struct {
+	plain  sweepDelta
+	rescan sweepDelta
+	// sane records whether the head's state passed the sanity-check
+	// predicate at record time; only a sane head may skip its periodic
+	// SANITY_CHECK sweeps (an insane one might need to retreat).
+	sane        bool
+	worldStamp  uint64
+	regionStamp uint64
 }
 
 // NewNode returns a node in bootup status.

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"gs3/internal/radio"
+)
+
+// TestStopMaintenanceDrainsEngine pins the fix for the retention bug:
+// StopMaintenance must eagerly remove every queued sweep batch and
+// jittered per-node timer from the engine, so no closure keeps the
+// Network reachable after the caller is done with it.
+func TestStopMaintenanceDrainsEngine(t *testing.T) {
+	nw, _ := configureDynamic(t, 300)
+	runSweeps(nw, 3)
+	if nw.Engine().Pending() == 0 {
+		t.Fatal("expected queued sweep events while maintaining")
+	}
+	nw.StopMaintenance()
+	if got := nw.Engine().Pending(); got != 0 {
+		t.Fatalf("Engine().Pending() = %d after StopMaintenance, want 0", got)
+	}
+	if len(nw.pending) != 0 || len(nw.batches) != 0 {
+		t.Fatalf("batch bookkeeping not cleared: pending=%d batches=%d",
+			len(nw.pending), len(nw.batches))
+	}
+	// Restart must work from the drained state.
+	nw.StartMaintenance(VariantD)
+	if nw.Engine().Pending() == 0 {
+		t.Fatal("restart scheduled nothing")
+	}
+	runSweeps(nw, 2)
+	nw.StopMaintenance()
+	if got := nw.Engine().Pending(); got != 0 {
+		t.Fatalf("Engine().Pending() = %d after second stop, want 0", got)
+	}
+}
+
+// TestQuiescentSweepZeroAllocs pins the steady-state fast path at zero
+// heap allocations: once a node's recorded sweep is current, replaying
+// it must not allocate. The pin covers a head (both plain and rescan
+// flavors recorded) and an associate.
+func TestQuiescentSweepZeroAllocs(t *testing.T) {
+	nw, _ := configureDynamic(t, 300)
+	// Enough rounds for every node to record both sweep flavors and for
+	// heads to pass (and record) a sanity check.
+	runSweeps(nw, 40)
+
+	var headID, assocID radio.NodeID = radio.None, radio.None
+	for _, id := range nw.SortedIDs() {
+		n := nw.nodes[id]
+		if n == nil || n.IsBig || n.Status == StatusDead {
+			continue
+		}
+		c := &n.cache
+		if n.Status.IsHeadRole() && c.plain.valid && c.rescan.valid && c.sane {
+			if headID == radio.None {
+				headID = id
+			}
+		}
+		if n.Status == StatusAssociate && c.plain.valid {
+			if assocID == radio.None {
+				assocID = id
+			}
+		}
+	}
+	if headID == radio.None || assocID == radio.None {
+		t.Fatalf("no cached head/associate after settling: head=%v assoc=%v", headID, assocID)
+	}
+
+	for _, tc := range []struct {
+		name string
+		id   radio.NodeID
+	}{
+		{"head", headID},
+		{"associate", assocID},
+	} {
+		id := tc.id
+		allocs := testing.AllocsPerRun(100, func() {
+			if !nw.sweepOnce(id) {
+				t.Fatal("quiescent sweep asked not to reschedule")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s quiescent sweepOnce: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestQuiescentSweepReplaysAccounting checks the replay is not a silent
+// skip: an elided sweep must add exactly the recorded counter deltas.
+func TestQuiescentSweepReplaysAccounting(t *testing.T) {
+	nw, _ := configureDynamic(t, 300)
+	runSweeps(nw, 40)
+
+	var n *Node
+	for _, id := range nw.SortedIDs() {
+		cand := nw.nodes[id]
+		if cand != nil && !cand.IsBig && cand.Status == StatusAssociate && cand.cache.plain.valid {
+			n = cand
+			break
+		}
+	}
+	if n == nil {
+		t.Fatal("no cached associate after settling")
+	}
+	want := n.cache.plain
+	statsBefore := nw.med.Stats()
+	metricsBefore := nw.metrics
+	if !nw.quiescentSweep(n) {
+		t.Fatal("quiescentSweep declined a valid cached associate")
+	}
+	if got := nw.med.Stats().Sub(statsBefore); got != want.stats {
+		t.Errorf("replayed stats delta = %+v, want %+v", got, want.stats)
+	}
+	if got := nw.metrics.sub(metricsBefore); got != want.metrics {
+		t.Errorf("replayed metrics delta = %+v, want %+v", got, want.metrics)
+	}
+}

@@ -136,6 +136,8 @@ func (nw *Network) Corrupt(id radio.NodeID, kind CorruptionKind, delta float64) 
 	if n == nil || n.Status == StatusDead {
 		return
 	}
+	// Corruption is a topology-visible state change like any other.
+	nw.touch(id)
 	switch kind {
 	case CorruptIL:
 		if n.Status.IsHeadRole() {

@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gs3/internal/core"
+	"gs3/internal/fault"
+	"gs3/internal/geom"
+	"gs3/internal/rng"
+)
+
+// The quiescence cache is an optimization, never a semantics change:
+// a cached run must be observably identical — snapshot, metrics, radio
+// stats, virtual clock — to a brute-force run that recomputes every
+// sweep, at every sweep boundary, under any perturbation schedule. The
+// property tests here pit the two builds against each other on
+// randomized topologies and scripts.
+
+// propStep is one scripted perturbation, applied identically to both
+// builds right before the given sweep boundary. The closure may only
+// consult state that is provably identical across the builds up to the
+// point it runs (which the equality check at every boundary enforces).
+type propStep struct {
+	sweep int
+	name  string
+	apply func(s *Sim)
+}
+
+// randomScript draws a deterministic perturbation schedule: disk kills,
+// grid repopulations, node moves, and head-state corruptions, all
+// parameterized by data drawn up front so both builds see the same
+// script.
+func randomScript(opt Options, seed uint64, sweeps int) []propStep {
+	src := rng.New(seed)
+	randPoint := func(maxR float64) geom.Point {
+		x, y := src.InDisk(maxR)
+		return geom.Point{X: x, Y: y}
+	}
+	var script []propStep
+	n := 3 + src.Intn(3)
+	for i := 0; i < n; i++ {
+		at := 2 + src.Intn(sweeps-4)
+		switch src.Intn(4) {
+		case 0:
+			c := randPoint(opt.RegionRadius * 0.7)
+			r := opt.Config.Rt * (0.5 + src.Float64())
+			script = append(script, propStep{at, "kill", func(s *Sim) { s.KillDisk(c, r) }})
+		case 1:
+			c := randPoint(opt.RegionRadius * 0.7)
+			r := opt.Config.Rt * (0.5 + src.Float64())
+			sp := opt.Config.Rt * 0.8
+			script = append(script, propStep{at, "join", func(s *Sim) { s.RepopulateDisk(c, r, sp) }})
+		case 2:
+			// Move the k-th alive small node to a drawn position. Both
+			// builds have identical SortedIDs at the same boundary, so
+			// index-based selection picks the same node in each.
+			k := src.Intn(40)
+			p := randPoint(opt.RegionRadius * 0.8)
+			script = append(script, propStep{at, "move", func(s *Sim) {
+				ids := s.Net.SortedIDs()
+				for off := 0; off < len(ids); off++ {
+					id := ids[(k+off)%len(ids)]
+					if id != s.Net.BigID() && s.Net.Alive(id) {
+						s.Net.Move(id, p)
+						return
+					}
+				}
+			}})
+		default:
+			c := randPoint(opt.RegionRadius * 0.7)
+			r := opt.Config.Rt * (1 + src.Float64())
+			kind := core.CorruptionKind(1 + src.Intn(3))
+			delta := 1 + src.Float64()*5
+			script = append(script, propStep{at, "corrupt", func(s *Sim) {
+				s.CorruptDisk(c, r, kind, delta)
+			}})
+		}
+	}
+	return script
+}
+
+// runCacheEquivalence drives a cached and an uncached build of opt in
+// lock-step through the script and fails on the first boundary where
+// any observable diverges.
+func runCacheEquivalence(t *testing.T, opt Options, variant core.Variant, script []propStep, sweeps int) {
+	t.Helper()
+	build := func(cache bool) *Sim {
+		s, err := Build(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Net.SetSweepCache(cache)
+		if _, err := s.Configure(); err != nil {
+			t.Fatal(err)
+		}
+		s.Net.StartMaintenance(variant)
+		return s
+	}
+	cached := build(true)
+	brute := build(false)
+
+	for i := 0; i < sweeps; i++ {
+		for _, st := range script {
+			if st.sweep == i {
+				st.apply(cached)
+				st.apply(brute)
+			}
+		}
+		cached.RunSweeps(1)
+		brute.RunSweeps(1)
+
+		if a, b := cached.Net.Engine().Now(), brute.Net.Engine().Now(); a != b {
+			t.Fatalf("sweep %d: clock diverged: cached %v, brute %v", i, a, b)
+		}
+		if a, b := cached.Net.Metrics(), brute.Net.Metrics(); a != b {
+			t.Fatalf("sweep %d: metrics diverged:\ncached %+v\nbrute  %+v", i, a, b)
+		}
+		if a, b := cached.Net.Medium().Stats(), brute.Net.Medium().Stats(); a != b {
+			t.Fatalf("sweep %d: radio stats diverged:\ncached %+v\nbrute  %+v", i, a, b)
+		}
+		sa, sb := cached.Net.Snapshot(), brute.Net.Snapshot()
+		if !reflect.DeepEqual(sa, sb) {
+			for j := range sa.Nodes {
+				if j >= len(sb.Nodes) || !reflect.DeepEqual(sa.Nodes[j], sb.Nodes[j]) {
+					t.Fatalf("sweep %d: snapshot diverged at node index %d:\ncached %+v\nbrute  %+v",
+						i, j, sa.Nodes[j], sb.Nodes[j])
+				}
+			}
+			t.Fatalf("sweep %d: snapshot diverged (node count %d vs %d)",
+				i, len(sa.Nodes), len(sb.Nodes))
+		}
+	}
+}
+
+// TestCachedSweepMatchesBruteForce is the main property: across
+// randomized grid topologies and perturbation schedules, the cached
+// build is boundary-for-boundary identical to the no-cache build.
+func TestCachedSweepMatchesBruteForce(t *testing.T) {
+	const sweeps = 30
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			opt := DefaultOptions(100, 280)
+			opt.Seed = seed
+			opt.GridJitter = 0.1 + 0.05*float64(seed%3)
+			script := randomScript(opt, seed*13+5, sweeps)
+			runCacheEquivalence(t, opt, core.VariantD, script, sweeps)
+		})
+	}
+}
+
+// TestCachedSweepMatchesBruteForceMobile exercises Variant M: the big
+// node relocates mid-run (BIG_SLIDE / BIG_MOVE paths) on top of a
+// perturbation script.
+func TestCachedSweepMatchesBruteForceMobile(t *testing.T) {
+	const sweeps = 30
+	opt := DefaultOptions(100, 280)
+	opt.Seed = 3
+	script := randomScript(opt, 99, sweeps)
+	script = append(script,
+		propStep{5, "big-slide", func(s *Sim) {
+			p := s.Net.Position(s.Net.BigID())
+			s.Net.Move(s.Net.BigID(), p.Add(geom.Vec{X: opt.Config.Rt * 0.8}))
+		}},
+		propStep{14, "big-move", func(s *Sim) {
+			s.Net.Move(s.Net.BigID(), geom.Point{X: -120, Y: 90})
+		}},
+	)
+	runCacheEquivalence(t, opt, core.VariantM, script, sweeps)
+}
+
+// TestCachedSweepMatchesBruteForceFaults proves the cache gate: with an
+// active fault plan the cache must disable itself, so both builds stay
+// identical even though replaying recorded deltas would be unsound
+// under loss and blackouts.
+func TestCachedSweepMatchesBruteForceFaults(t *testing.T) {
+	const sweeps = 25
+	opt := DefaultOptions(100, 260)
+	opt.Seed = 11
+	opt.Faults = fault.Plan{
+		Loss:           0.05,
+		BlackoutRate:   0.01,
+		BlackoutSweeps: 2,
+	}
+	script := randomScript(opt, 77, sweeps)
+	runCacheEquivalence(t, opt, core.VariantD, script, sweeps)
+}

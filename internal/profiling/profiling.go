@@ -1,0 +1,52 @@
+// Package profiling wires the standard runtime/pprof collectors behind
+// the -cpuprofile / -memprofile command flags shared by gs3sim and
+// gs3bench. It deliberately stays trivial: plain pprof files that
+// `go tool pprof` reads, no HTTP endpoint, no sampling knobs.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (if non-empty). The stop function must run exactly once,
+// after the workload finishes — the heap profile snapshots live
+// allocations at that point, after a forced GC so the dump reflects
+// retained memory, not garbage awaiting collection.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

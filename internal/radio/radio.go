@@ -110,6 +110,20 @@ type Medium struct {
 	inj      *fault.Injector
 	blackout map[NodeID]bool
 
+	// epoch is the global topology-change counter and epochs the
+	// per-bucket view of it: a bucket's entry is the epoch value at
+	// its last change. Place, Remove, blackout toggles, and explicit
+	// Touch calls all bump the affected buckets, so a reader that
+	// stamped a region with RegionEpoch can later prove "nothing in
+	// my query cone changed" with a handful of map reads.
+	epoch  uint64
+	epochs map[gridKey]uint64
+	// epochFloor is the epoch of the last TouchAll: a change with
+	// unbounded reach (e.g. big-node role state that every head's
+	// root test reads) that no bucket ring could cover. RegionEpoch
+	// never reports below it.
+	epochFloor uint64
+
 	stats Stats
 
 	// footprint tracks the positions of senders for locality analysis,
@@ -146,6 +160,7 @@ func NewMedium(params Params, src *rng.Source) (*Medium, error) {
 		positions: make(map[NodeID]geom.Point),
 		alive:     make(map[NodeID]bool),
 		grid:      make(map[gridKey][]gridEntry),
+		epochs:    make(map[gridKey]uint64),
 		cellSize:  cs,
 	}, nil
 }
@@ -163,6 +178,52 @@ func (m *Medium) Stats() Stats {
 // ResetStats zeroes the traffic counters.
 func (m *Medium) ResetStats() {
 	m.stats = Stats{}
+}
+
+// AddStats credits d onto the traffic counters. It exists for callers
+// that elide provably redundant work (a sweep whose every query and
+// broadcast would reproduce the previous result bit-for-bit) but must
+// keep the externally observable accounting identical to having done
+// it: they replay the recorded per-sweep counter delta instead.
+func (m *Medium) AddStats(d Stats) {
+	m.stats.Broadcasts += d.Broadcasts
+	m.stats.Unicasts += d.Unicasts
+	m.stats.Deliveries += d.Deliveries
+	m.stats.Dropped += d.Dropped
+	m.stats.RangeQueries += d.RangeQueries
+	m.stats.FaultDrops += d.FaultDrops
+	m.stats.FaultDups += d.FaultDups
+	m.stats.BlackoutDrops += d.BlackoutDrops
+	m.stats.Blackouts += d.Blackouts
+	m.stats.Retries += d.Retries
+}
+
+// Sub returns the counter delta s−prev (field-wise). Meaningful when
+// prev is an earlier reading of the same counters.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Broadcasts:    s.Broadcasts - prev.Broadcasts,
+		Unicasts:      s.Unicasts - prev.Unicasts,
+		Deliveries:    s.Deliveries - prev.Deliveries,
+		Dropped:       s.Dropped - prev.Dropped,
+		RangeQueries:  s.RangeQueries - prev.RangeQueries,
+		FaultDrops:    s.FaultDrops - prev.FaultDrops,
+		FaultDups:     s.FaultDups - prev.FaultDups,
+		BlackoutDrops: s.BlackoutDrops - prev.BlackoutDrops,
+		Blackouts:     s.Blackouts - prev.Blackouts,
+		Retries:       s.Retries - prev.Retries,
+	}
+}
+
+// TraceSend replays the traffic-trace hook for an elided transmission
+// from node id's current position, so footprint measurements see the
+// same sender positions whether or not the transmission was elided.
+func (m *Medium) TraceSend(id NodeID) {
+	if m.trace != nil {
+		if p, ok := m.positions[id]; ok {
+			m.trace(p)
+		}
+	}
 }
 
 // SetFaults installs (or, with nil, removes) a fault injector. The
@@ -196,10 +257,14 @@ func (m *Medium) SetBlackout(id NodeID, down bool) {
 		if !m.blackout[id] {
 			m.blackout[id] = true
 			m.stats.Blackouts++
+			m.Touch(id)
 		}
 		return
 	}
-	delete(m.blackout, id)
+	if m.blackout[id] {
+		delete(m.blackout, id)
+		m.Touch(id)
+	}
 }
 
 // InBlackout reports whether id is currently blacked out.
@@ -217,15 +282,68 @@ func (m *Medium) key(p geom.Point) gridKey {
 	return gridKey{int(math.Floor(p.X / m.cellSize)), int(math.Floor(p.Y / m.cellSize))}
 }
 
+// bump records a topology change in the bucket holding p.
+func (m *Medium) bump(p geom.Point) {
+	m.epoch++
+	m.epochs[m.key(p)] = m.epoch
+}
+
+// Epoch returns the global topology-epoch counter. It increases
+// monotonically with every Place, Remove, blackout toggle, Touch, or
+// TouchAll; an unchanged value proves the whole medium (and everything
+// protocol code reported via Touch) is exactly as it was.
+func (m *Medium) Epoch() uint64 {
+	return m.epoch
+}
+
+// Touch bumps the topology epoch of the bucket holding node id, marking
+// a change that spatial queries cannot see — protocol state attached to
+// the node (role, links, cell state) rather than its position. Nodes
+// not on the medium are ignored; their removal already bumped.
+func (m *Medium) Touch(id NodeID) {
+	if p, ok := m.positions[id]; ok {
+		m.bump(p)
+	}
+}
+
+// TouchAll marks a change with unbounded reach: every RegionEpoch
+// result from now on reflects it, whatever the region.
+func (m *Medium) TouchAll() {
+	m.epoch++
+	m.epochFloor = m.epoch
+}
+
+// RegionEpoch returns the maximum topology epoch over every bucket a
+// range query at (p, dist) could touch, and never less than the last
+// TouchAll. A caller that stamps a computed result with this value can
+// later prove the result is still current by comparing a fresh
+// RegionEpoch against the stamp: any add/remove/move/blackout/Touch in
+// the cone bumps a bucket the same ring scan covers.
+func (m *Medium) RegionEpoch(p geom.Point, dist float64) uint64 {
+	r := int(math.Ceil(dist / m.cellSize))
+	base := m.key(p)
+	max := m.epochFloor
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			if e := m.epochs[gridKey{base.x + dx, base.y + dy}]; e > max {
+				max = e
+			}
+		}
+	}
+	return max
+}
+
 // Place adds or moves a node. A placed node is alive.
 func (m *Medium) Place(id NodeID, p geom.Point) {
 	if old, ok := m.positions[id]; ok {
 		m.removeFromGrid(id, old)
+		m.bump(old)
 	}
 	m.positions[id] = p
 	m.alive[id] = true
 	k := m.key(p)
 	m.grid[k] = append(m.grid[k], gridEntry{id, p})
+	m.bump(p)
 }
 
 // Remove takes a node off the medium (death or leave).
@@ -235,6 +353,7 @@ func (m *Medium) Remove(id NodeID) {
 		delete(m.positions, id)
 		delete(m.alive, id)
 		delete(m.blackout, id)
+		m.bump(p)
 	}
 }
 

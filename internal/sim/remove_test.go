@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+func TestRemoveDeletesEagerly(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	mk := func(name string) func() { return func() { fired = append(fired, name) } }
+	ha := e.After(1, "a", mk("a"))
+	hb := e.After(1, "b", mk("b"))
+	hc := e.After(1, "c", mk("c"))
+	_ = ha
+
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	e.Remove(hb)
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending after Remove = %d, want 2 (eager deletion)", got)
+	}
+	if !hb.Canceled() {
+		t.Fatal("removed handle not marked canceled")
+	}
+
+	e.Run(0)
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "c" {
+		t.Fatalf("fired %v, want [a c]", fired)
+	}
+
+	// Removing a fired, an already-removed, or a zero handle is a no-op.
+	e.Remove(hc)
+	e.Remove(hb)
+	e.Remove(Handle{})
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after no-op removes = %d, want 0", got)
+	}
+}
+
+func TestRemoveKeepsHeapOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	log := func() { fired = append(fired, e.Now()) }
+	var handles []Handle
+	for _, at := range []Time{5, 1, 4, 2, 3, 6, 0.5} {
+		h, err := e.At(at, "ev", log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	e.Remove(handles[0]) // at=5
+	e.Remove(handles[3]) // at=2
+	e.Run(0)
+	want := []Time{0.5, 1, 3, 4, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}

@@ -60,6 +60,21 @@ func (h Handle) Canceled() bool {
 	return h.ev != nil && h.ev.canceled
 }
 
+// Remove cancels the event and eagerly deletes it from the queue, so
+// the event (and everything its closure retains) becomes garbage
+// immediately instead of lingering until its fire time. Removing an
+// already-fired, already-removed, or zero Handle is a no-op. Like
+// Cancel, Remove must run on the engine's goroutine.
+func (e *Engine) Remove(h Handle) {
+	if h.ev == nil {
+		return
+	}
+	h.ev.canceled = true
+	if h.ev.index >= 0 {
+		heap.Remove(&e.queue, h.ev.index)
+	}
+}
+
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
@@ -84,6 +99,7 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1 // no longer queued; Remove on this handle is a no-op
 	*q = old[:n-1]
 	return ev
 }
@@ -119,6 +135,14 @@ func (e *Engine) Now() Time {
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 {
 	return e.fired
+}
+
+// Scheduled returns the number of events ever scheduled (the next
+// sequence number). Two equal readings prove no event was scheduled in
+// between — the primitive batching callers use to detect that another
+// event's ordering position falls between two of their additions.
+func (e *Engine) Scheduled() uint64 {
+	return e.nextSeq
 }
 
 // Pending returns the number of events still queued (including canceled
