@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos goldens golden-diff check
+.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos traffic-smoke goldens golden-diff check
 
 all: check
 
@@ -28,11 +28,11 @@ bench:
 
 # Archive the perf-sensitive micro/macro benchmarks into BENCH_FILE
 # under the RUN label (see cmd/benchjson). Override RUN to record a
-# different label, e.g. `make bench-json RUN=pre-pr6`.
-RUN ?= post-pr5
-BENCH_FILE ?= BENCH_PR5.json
+# different label, e.g. `make bench-json RUN=pre-pr7`.
+RUN ?= post-pr6
+BENCH_FILE ?= BENCH_PR6.json
 bench-json:
-	$(GO) test -bench='ConfigureStructure|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck' \
+	$(GO) test -bench='ConfigureStructure|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck|ServeTraffic' \
 		-benchmem -run='^$$' . ./internal/radio | \
 		$(GO) run ./cmd/benchjson -file $(BENCH_FILE) -run $(RUN)
 
@@ -64,6 +64,13 @@ chaos:
 	$(GO) run ./cmd/gs3sim -region 300 -loss 0.2 -blackout-rate 0.02 -blackout-sweeps 3 \
 		-chaos -sweeps 120 -seed 7
 
+# Data-plane smoke scenario: routed packets (mixed convergecast and
+# point-to-point geographic) through a lossy, churning structure while
+# maintenance heals it.
+traffic-smoke:
+	$(GO) run ./cmd/gs3sim -region 300 -r 50 -sweeps 15 -packets 20000 -traffic-rate 500 \
+		-p2p 0.3 -loss 0.1 -blackout-rate 0.01 -churn 20 -seed 4 -q
+
 # Re-archive the golden experiment stdout under testdata/goldens/.
 goldens:
 	./scripts/goldens.sh generate
@@ -73,4 +80,4 @@ goldens:
 golden-diff:
 	./scripts/goldens.sh diff
 
-check: build vet race bench-smoke golden-diff fuzz-smoke chaos
+check: build vet race bench-smoke golden-diff fuzz-smoke chaos traffic-smoke

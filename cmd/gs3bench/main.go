@@ -214,6 +214,30 @@ func experiments() []experiment {
 			}
 			return t.Format(), nil
 		}},
+		{"D1", "data plane: delivery ratio, latency, head energy vs loss x churn", func(p runner.Pool, seed uint64, quick bool) (string, error) {
+			rates := []float64{0, 0.1, 0.3}
+			packets := 200000
+			if quick {
+				packets = 20000
+			}
+			t, err := exp.DataPlane(p, 10, 60, rates, packets, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"D1b", "data gathering under loss: GS3 convergecast vs LEACH rounds", func(p runner.Pool, seed uint64, quick bool) (string, error) {
+			rates := []float64{0, 0.1, 0.3}
+			packets := 50000
+			if quick {
+				packets = 5000
+			}
+			t, err := exp.DataGatherVsLEACH(p, 10, 60, rates, packets, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
 		{"A3", "ablation: heartbeat interval vs head-death masking latency", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			intervals := []float64{0.5, 1, 2}
 			if quick {

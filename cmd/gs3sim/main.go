@@ -19,6 +19,8 @@
 //	gs3sim -region 400 -trials 8 -seq       # same reports, one at a time
 //	gs3sim -region 400 -loss 0.2 -sweeps 40           # lossy radio
 //	gs3sim -region 400 -loss 0.2 -chaos -sweeps 120   # chaos watchdog
+//	gs3sim -region 400 -sweeps 20 -packets 50000              # data plane
+//	gs3sim -region 400 -sweeps 20 -packets 50000 -p2p 0.3 -loss 0.1 -churn 50
 package main
 
 import (
@@ -41,6 +43,7 @@ import (
 	"gs3/internal/render"
 	"gs3/internal/runner"
 	"gs3/internal/trace"
+	"gs3/internal/traffic"
 )
 
 func main() {
@@ -61,6 +64,10 @@ type scenario struct {
 	killR    float64
 	sweeps   int
 	chaos    bool
+	packets  int
+	rate     float64
+	p2p      float64
+	churn    int
 	traceN   int
 	svgPath  string
 	dumpPath string
@@ -85,6 +92,10 @@ func run(args []string) (retErr error) {
 		boRate   = fs.Float64("blackout-rate", 0, "per-node per-sweep blackout start probability [0,1)")
 		boSweeps = fs.Float64("blackout-sweeps", 3, "mean blackout duration in sweeps")
 		chaos    = fs.Bool("chaos", false, "run the convergence watchdog over -sweeps instead of a fixed sweep count; exit nonzero on non-convergence")
+		packets  = fs.Int("packets", 0, "route this many packets over the structure after -sweeps settle it (enables the data plane)")
+		rate     = fs.Float64("traffic-rate", 500, "packet arrival rate (packets per virtual second) for -packets")
+		p2p      = fs.Float64("p2p", 0, "fraction of -packets routed point-to-point geographic; rest convergecast")
+		churn    = fs.Int("churn", 0, "random kill+join membership events, one per 2 heartbeats, during traffic")
 		svgPath  = fs.String("svg", "", "write an SVG rendering of the final structure to this file")
 		traceN   = fs.Int("trace", 0, "record protocol events and print the last N")
 		dumpPath = fs.String("dump", "", "write the final snapshot as JSON to this file")
@@ -115,6 +126,10 @@ func run(args []string) (retErr error) {
 		mobile:   *mobile,
 		sweeps:   *sweeps,
 		chaos:    *chaos,
+		packets:  *packets,
+		rate:     *rate,
+		p2p:      *p2p,
+		churn:    *churn,
 		traceN:   *traceN,
 		svgPath:  *svgPath,
 		dumpPath: *dumpPath,
@@ -131,6 +146,12 @@ func run(args []string) (retErr error) {
 	}
 	if base.chaos && base.sweeps <= 0 {
 		return fmt.Errorf("-chaos needs a positive -sweeps budget")
+	}
+	if base.chaos && base.packets > 0 {
+		return fmt.Errorf("-chaos and -packets are mutually exclusive: the watchdog and the traffic run both own the sweep schedule")
+	}
+	if base.packets <= 0 && (base.p2p != 0 || base.churn != 0) {
+		return fmt.Errorf("-p2p/-churn need -packets")
 	}
 	if *rt > 0 {
 		base.opt.Config.Rt = *rt
@@ -237,6 +258,31 @@ func (sc scenario) run(w io.Writer) error {
 				fmt.Fprintf(w, "ran %d maintenance sweeps (%s)\n", sc.sweeps, variant)
 			}
 		}
+	}
+
+	if sc.packets > 0 {
+		// Maintenance (if -sweeps settled the structure) keeps running on
+		// the same engine, so healing interleaves with packet hops.
+		if sc.churn > 0 {
+			s.StartChurn(2*sc.opt.Config.HeartbeatInterval, sc.churn)
+		}
+		plane, err := s.ServeTraffic(traffic.Config{
+			Packets:     sc.packets,
+			Rate:        sc.rate,
+			P2PFraction: sc.p2p,
+		})
+		if err != nil {
+			return err
+		}
+		rep := plane.Run()
+		fmt.Fprintf(w, "traffic: generated=%d delivered=%d ratio=%.4f lost: noroute=%d hopfail=%d ttl=%d expired=%d\n",
+			rep.Generated, rep.Delivered, rep.DeliveryRatio,
+			rep.LostNoRoute, rep.LostHopFail, rep.LostTTL, rep.Expired)
+		fmt.Fprintf(w, "traffic: latency p50=%.3f p99=%.3f p999=%.3f max=%.3f hops mean=%.2f max=%.0f detours=%d retries=%d\n",
+			rep.LatencyP50, rep.LatencyP99, rep.LatencyP999, rep.LatencyMax,
+			rep.MeanHops, rep.MaxHops, rep.Detours, rep.Retries)
+		fmt.Fprintf(w, "traffic: heads=%d forwards=%d fwdPerHead=%.2f headEnergy=%.0f maxHeadEnergy=%.0f\n",
+			rep.HeadsUsed, rep.Forwards, rep.MeanHeadForwards, rep.HeadEnergy, rep.MaxHeadEnergy)
 	}
 
 	snap := s.Net.Snapshot()

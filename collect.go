@@ -27,6 +27,11 @@ type GatherResult struct {
 // merge their cells' samples, and aggregates converge up the head graph
 // to the big node — the hierarchical data-gathering pattern the GS³
 // structure exists to support.
+//
+// Collect is instantaneous: it computes the round over a snapshot of
+// the structure, with no virtual time passing, no per-packet loss, and
+// no interaction with in-flight healing. Use ServeTraffic to route the
+// same workload as real packets on the virtual clock.
 func (n *Network) Collect(readings map[NodeID]float64) (GatherResult, error) {
 	internal := make(map[radio.NodeID]float64, len(readings))
 	for id, v := range readings {

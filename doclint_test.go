@@ -11,12 +11,16 @@ import (
 )
 
 // TestDocComments is the doc-comment lint pass for the simulation
-// substrate: every exported symbol of internal/sim, internal/netsim,
-// and internal/runner must carry a doc comment (these are the packages
+// substrate and the data plane: every exported symbol of internal/sim,
+// internal/netsim, internal/runner, internal/traffic, and
+// internal/gather must carry a doc comment (these are the packages
 // whose thread-safety contracts the concurrency model depends on, so
 // their godoc is required to state them).
 func TestDocComments(t *testing.T) {
-	for _, dir := range []string{"internal/sim", "internal/netsim", "internal/runner"} {
+	for _, dir := range []string{
+		"internal/sim", "internal/netsim", "internal/runner",
+		"internal/traffic", "internal/gather",
+	} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

@@ -15,6 +15,12 @@
 //	net.RunFor(10)              // advance virtual time
 //	cells := net.Cells()        // inspect the structure
 //	route := net.RouteToSink(id) // head-graph path to the big node
+//
+// Two data-plane entry points ride on the structure: Collect computes
+// one instantaneous aggregation round over a snapshot, and
+// ServeTraffic routes individual packets hop-by-hop on the virtual
+// clock — convergecast to the sink and point-to-point geographic —
+// measuring delivery, latency, and head load while healing runs.
 package gs3
 
 import (

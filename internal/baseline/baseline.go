@@ -141,6 +141,75 @@ func LEACHHeal(dep field.Deployment, p, txRange float64, src *rng.Source) (Clust
 	return LEACH(dep, p, txRange, src)
 }
 
+// DataRoundReport summarizes one LEACH data-gathering round (the
+// "steady-state phase" of the LEACH round structure): every member
+// transmits its reading to its cluster head, each head aggregates and
+// transmits once directly to the sink. Per-leg message loss applies as
+// an independent Bernoulli drop.
+type DataRoundReport struct {
+	// Generated counts readings offered (one per clustered node,
+	// heads included — a head's own reading needs no member leg).
+	Generated int
+	// Delivered counts readings that survived every leg to the sink: a
+	// member's reading needs its member→head leg AND its head's
+	// head→sink leg; a head's own reading needs only the head→sink leg.
+	// Unclustered nodes are counted generated but never delivered.
+	Delivered int
+	// HeadTx counts transmissions by heads (one per head per round).
+	HeadTx int
+	// DeliveryRatio is Delivered / Generated.
+	DeliveryRatio float64
+}
+
+// DataRound plays one LEACH steady-state data round over an existing
+// clustering: member readings travel member→head, then one aggregate
+// per head travels head→sink directly (LEACH's single-hop long-range
+// transmission). Each leg is dropped independently with probability
+// loss, drawn from src, so reports are deterministic per (clustering,
+// loss, seed). This is the apples-to-apples counterpart of the GS³
+// convergecast data plane (internal/traffic) for delivery-ratio
+// comparisons: LEACH pays one hop per member plus one long-range hop
+// per head, while GS³ relays hop-by-hop up the parent tree.
+func DataRound(c Clustering, loss float64, src *rng.Source) (DataRoundReport, error) {
+	if loss < 0 || loss >= 1 {
+		return DataRoundReport{}, fmt.Errorf("baseline: loss must be in [0,1), got %v", loss)
+	}
+	if src == nil {
+		return DataRoundReport{}, fmt.Errorf("baseline: nil random source")
+	}
+	var rep DataRoundReport
+	// Each head's aggregate→sink leg survives or not once per round;
+	// draw in head order for determinism.
+	headUp := make([]bool, len(c.Heads))
+	for hi := range c.Heads {
+		headUp[hi] = src.Float64() >= loss
+		rep.HeadTx++
+	}
+	headIndex := make(map[int]int, len(c.Heads))
+	for hi, h := range c.Heads {
+		headIndex[h] = hi
+	}
+	for i, cl := range c.Cluster {
+		rep.Generated++
+		if cl < 0 {
+			continue // unclustered: LEACH has no route for it here
+		}
+		if hi, isHead := headIndex[i]; isHead {
+			if headUp[hi] {
+				rep.Delivered++
+			}
+			continue
+		}
+		if src.Float64() >= loss && headUp[cl] {
+			rep.Delivered++
+		}
+	}
+	if rep.Generated > 0 {
+		rep.DeliveryRatio = float64(rep.Delivered) / float64(rep.Generated)
+	}
+	return rep, nil
+}
+
 // HopCluster grows geography-unaware clusters by BFS on the
 // connectivity graph: repeatedly pick the lowest-index unclustered node
 // as a head and absorb everything within maxHops hops (among still

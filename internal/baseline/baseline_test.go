@@ -215,3 +215,54 @@ func TestHopClusterDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestDataRoundZeroLoss(t *testing.T) {
+	dep := testDeployment(t)
+	c, err := LEACH(dep, 0.05, 600, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DataRound(c, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generated != dep.N() {
+		t.Errorf("generated %d readings, want %d", rep.Generated, dep.N())
+	}
+	if rep.DeliveryRatio != 1.0 {
+		t.Errorf("zero-loss delivery ratio %v, want exactly 1.0", rep.DeliveryRatio)
+	}
+	if rep.HeadTx != len(c.Heads) {
+		t.Errorf("HeadTx %d, want one per head (%d)", rep.HeadTx, len(c.Heads))
+	}
+}
+
+func TestDataRoundLossy(t *testing.T) {
+	dep := testDeployment(t)
+	c, err := LEACH(dep, 0.05, 600, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := 0.3
+	rep, err := DataRound(c, loss, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A member reading needs two independent survivals: expect roughly
+	// (1-loss)^2, within a loose tolerance.
+	want := (1 - loss) * (1 - loss)
+	if math.Abs(rep.DeliveryRatio-want) > 0.1 {
+		t.Errorf("lossy delivery ratio %v, expected ≈%v", rep.DeliveryRatio, want)
+	}
+	// Determinism: same clustering, same seed, same report.
+	rep2, err := DataRound(c, loss, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != rep2 {
+		t.Errorf("same seed, different reports: %+v vs %+v", rep, rep2)
+	}
+	if _, err := DataRound(c, 1.0, rng.New(1)); err == nil {
+		t.Error("loss=1.0 accepted")
+	}
+}

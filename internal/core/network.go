@@ -277,6 +277,27 @@ func (nw *Network) Reachable(id radio.NodeID) bool {
 // BigID returns the big node's ID, or radio.None if absent.
 func (nw *Network) BigID() radio.NodeID { return nw.bigID }
 
+// RootHead returns the head the parent tree currently drains to: the
+// big node while it holds the head role, otherwise the big node's live
+// proxy head (GS³-M), or radio.None in the transient instants of a
+// slide when neither is a head. It is the live-network analogue of the
+// snapshot-based root lookup in internal/gather.
+func (nw *Network) RootHead() radio.NodeID {
+	big := nw.nodes[nw.bigID]
+	if big == nil {
+		return radio.None
+	}
+	if big.Status.IsHeadRole() {
+		return nw.bigID
+	}
+	if big.Proxy != radio.None {
+		if pn := nw.nodes[big.Proxy]; pn != nil && pn.Status.IsHeadRole() {
+			return big.Proxy
+		}
+	}
+	return radio.None
+}
+
 // Node returns the node with the given ID, or nil.
 func (nw *Network) Node(id radio.NodeID) *Node {
 	return nw.nodes[id]

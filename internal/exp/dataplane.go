@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"gs3/internal/baseline"
+	"gs3/internal/core"
+	"gs3/internal/fault"
+	"gs3/internal/netsim"
+	"gs3/internal/rng"
+	"gs3/internal/runner"
+	"gs3/internal/traffic"
+)
+
+// DataPlane is the D1 experiment: packet delivery, latency, and head
+// energy burn on the data plane (internal/traffic) across loss rate ×
+// churn. Each combo configures a network, settles it under GS³-D
+// maintenance, then serves a mixed convergecast/point-to-point packet
+// load; churn combos additionally run random membership turnover and
+// transient blackouts while packets are in flight, so the table
+// measures exactly how much traffic the structure loses while repair
+// is in flight. Combos run as independent trials on the pool; every
+// combo reuses the caller's seed unchanged (sweep convention: the
+// loss/churn axes are the only things that vary).
+func DataPlane(p runner.Pool, r, regionRadius float64, lossRates []float64, packets int, seed uint64) (Table, error) {
+	t := Table{
+		ID:    "D1",
+		Title: "Data plane: delivery, latency, and head energy vs loss x churn",
+		Columns: []string{
+			"loss", "churn", "generated", "delivered", "ratio",
+			"p50", "p99", "p999", "fwdPerHead", "maxHeadE",
+		},
+		Notes: []string{
+			"churn=1: one kill+join every 2 heartbeats plus 1% blackouts, concurrent with traffic",
+			"30% of packets point-to-point geographic, rest convergecast; latencies in virtual s",
+			"same seed across combos: loss and churn are the only varied factors",
+		},
+	}
+	type combo struct {
+		loss  float64
+		churn bool
+	}
+	var combos []combo
+	for _, rate := range lossRates {
+		combos = append(combos, combo{rate, false}, combo{rate, true})
+	}
+	rows, err := runner.Map(p, len(combos), func(i int) ([]float64, error) {
+		c := combos[i]
+		opt := netsim.DefaultOptions(r, regionRadius)
+		opt.Seed = seed
+		opt.Faults = fault.Plan{Loss: c.loss}
+		if c.churn {
+			opt.Faults.BlackoutRate = 0.01
+			opt.Faults.BlackoutSweeps = 3
+		}
+		s, err := netsim.Build(opt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Configure(); err != nil {
+			return nil, err
+		}
+		s.Net.StartMaintenance(core.VariantD)
+		// Fixed settle window (not a stability poll): identical virtual
+		// schedules across combos keep the sweep controlled.
+		s.RunSweeps(20)
+		hb := opt.Config.HeartbeatInterval
+		if c.churn {
+			s.StartChurn(2*hb, packets/500+1)
+		}
+		plane, err := s.ServeTraffic(traffic.Config{
+			Packets:     packets,
+			Rate:        500 / hb,
+			P2PFraction: 0.3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep := plane.Run()
+		churnF := 0.0
+		if c.churn {
+			churnF = 1
+		}
+		return []float64{
+			c.loss, churnF,
+			float64(rep.Generated), float64(rep.Delivered), rep.DeliveryRatio,
+			rep.LatencyP50, rep.LatencyP99, rep.LatencyP999,
+			rep.MeanHeadForwards, rep.MaxHeadEnergy,
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// DataGatherVsLEACH is the D1b experiment: data-gathering delivery
+// ratio and head transmission load, GS³ convergecast (hop-by-hop
+// relay up the parent tree, per-hop loss with bounded retries) vs a
+// LEACH steady-state round (one member→head leg plus one long-range
+// head→sink leg, per-leg loss, no retries) on the same deployment.
+// The comparison is asymmetric by design — GS³ pays more, shorter
+// hops and can retry each; LEACH pays fewer, longer legs and a global
+// re-cluster whenever structure breaks — which is exactly the
+// trade-off the table quantifies.
+func DataGatherVsLEACH(p runner.Pool, r, regionRadius float64, lossRates []float64, packets int, seed uint64) (Table, error) {
+	t := Table{
+		ID:    "D1b",
+		Title: "Data gathering under loss: GS3 convergecast vs LEACH rounds",
+		Columns: []string{
+			"loss", "gs3Ratio", "leachRatio", "gs3FwdPerHead", "leachTxPerHead",
+		},
+		Notes: []string{
+			"GS3: per-packet hop-by-hop relay with per-hop retries; LEACH: two lossy legs, no retries",
+			"same deployment per row; same seed across rows",
+		},
+	}
+	rows, err := runner.Map(p, len(lossRates), func(i int) ([]float64, error) {
+		loss := lossRates[i]
+		opt := netsim.DefaultOptions(r, regionRadius)
+		opt.Seed = seed
+		opt.Faults = fault.Plan{Loss: loss}
+		s, err := netsim.Build(opt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Configure(); err != nil {
+			return nil, err
+		}
+		s.Net.StartMaintenance(core.VariantD)
+		s.RunSweeps(20)
+		plane, err := s.ServeTraffic(traffic.Config{Packets: packets, Rate: 500 / opt.Config.HeartbeatInterval})
+		if err != nil {
+			return nil, err
+		}
+		rep := plane.Run()
+
+		// LEACH data rounds on the same deployment until it has offered
+		// at least as many readings as GS³ generated packets.
+		prob := leachHeadProbability(s)
+		lsrc := rng.New(seed + 1)
+		lc, err := baseline.LEACH(s.Dep, prob, 4*regionRadius, lsrc)
+		if err != nil {
+			return nil, err
+		}
+		var lGen, lDel, lTx int
+		for lGen < packets {
+			lr, err := baseline.DataRound(lc, loss, lsrc)
+			if err != nil {
+				return nil, err
+			}
+			lGen += lr.Generated
+			lDel += lr.Delivered
+			lTx += lr.HeadTx
+		}
+		leachRatio := 0.0
+		if lGen > 0 {
+			leachRatio = float64(lDel) / float64(lGen)
+		}
+		leachTxPerHead := 0.0
+		if len(lc.Heads) > 0 {
+			leachTxPerHead = float64(lTx) / float64(len(lc.Heads))
+		}
+		return []float64{loss, rep.DeliveryRatio, leachRatio, rep.MeanHeadForwards, leachTxPerHead}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
+	return t, nil
+}

@@ -5,6 +5,16 @@
 // ≤ R + 2Rt/√3), each head merges its cell's samples, and aggregates
 // flow up the parent tree to the big node — one inter-cell message per
 // head per round.
+//
+// # Purity and thread safety
+//
+// Collect is a pure function of its inputs: it walks an immutable
+// snapshot, advances no virtual time, touches no radio or fault state,
+// and draws no randomness — the round is instantaneous and lossless by
+// construction. That makes it safe to call from any goroutine, on any
+// snapshot, concurrently with a live simulation. The packet-level
+// counterpart — real per-hop deliveries on the virtual clock, with
+// loss, latency, and in-flight healing — is internal/traffic.
 package gather
 
 import (

@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+
+	"gs3/internal/core"
+	"gs3/internal/traffic"
+)
+
+// TestServeTrafficForkIsolation pins the RNG layering contract: a
+// build that never serves traffic and a build that does must produce
+// identical protocol behavior, because ServeTraffic forks its stream
+// after everything the network draws from.
+func TestServeTrafficForkIsolation(t *testing.T) {
+	build := func(serve bool) core.Snapshot {
+		opt := DefaultOptions(10, 45)
+		opt.Seed = 11
+		s, err := Build(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Configure(); err != nil {
+			t.Fatal(err)
+		}
+		s.Net.StartMaintenance(core.VariantD)
+		s.RunSweeps(10)
+		if serve {
+			plane, err := s.ServeTraffic(traffic.Config{Packets: 200, Rate: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plane.Run()
+		} else {
+			// Advance the same wall of virtual time the traffic run covers
+			// so both snapshots are taken at comparable sweep counts.
+			s.RunSweeps(30)
+		}
+		return s.Net.Snapshot()
+	}
+	with := build(true)
+	without := build(false)
+	// Structure must be identical: traffic reads the structure but its
+	// RNG stream and packet events never feed back into head election.
+	if len(with.Nodes) != len(without.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(with.Nodes), len(without.Nodes))
+	}
+	for id, v := range with.Nodes {
+		w := without.Nodes[id]
+		if v.Status != w.Status || v.Head != w.Head || v.Parent != w.Parent {
+			t.Errorf("node %d diverged: with=%+v without=%+v", id, v, w)
+		}
+	}
+}
+
+func TestStartChurnTurnsOver(t *testing.T) {
+	opt := DefaultOptions(10, 45)
+	opt.Seed = 4
+	s, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Configure(); err != nil {
+		t.Fatal(err)
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	before := s.Net.Medium().Count()
+	s.StartChurn(s.Opt.Config.HeartbeatInterval, 12)
+	s.RunSweeps(20)
+	after := s.Net.Medium().Count()
+	// Kill+join pairs keep the population constant (joins may race the
+	// final sweep boundary, so allow the budget as slack).
+	if after < before-12 || after > before+12 {
+		t.Errorf("population drifted from %d to %d under paired churn", before, after)
+	}
+	m := s.Net.Metrics()
+	if m.HeadShifts == 0 && m.CellShifts == 0 && m.HeadsSelected == 0 {
+		t.Error("churn ran but no healing actions were recorded")
+	}
+	// No-op budgets must schedule nothing.
+	s.StartChurn(0, 5)
+	s.StartChurn(1, 0)
+}

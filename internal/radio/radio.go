@@ -18,6 +18,7 @@
 package radio
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -25,6 +26,20 @@ import (
 	"gs3/internal/fault"
 	"gs3/internal/geom"
 	"gs3/internal/rng"
+)
+
+// Unicast failure causes, exposed as sentinels so callers (the data
+// plane's per-hop accounting in particular) can classify a failed send
+// with errors.Is instead of parsing messages.
+var (
+	// ErrNotOnMedium: an endpoint is absent (dead or never placed).
+	ErrNotOnMedium = errors.New("endpoint not on medium")
+	// ErrBlackout: an endpoint is transiently crashed (fault layer).
+	ErrBlackout = errors.New("endpoint blacked out")
+	// ErrOutOfRange: the receiver is beyond the requested range.
+	ErrOutOfRange = errors.New("receiver out of range")
+	// ErrDeliveryLost: the fault injector dropped the delivery in flight.
+	ErrDeliveryLost = errors.New("delivery lost")
 )
 
 // NodeID identifies a node on the medium. The big node is always ID 0.
@@ -520,19 +535,19 @@ func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
 	pf, ok := m.positions[from]
 	if !ok {
-		return 0, fmt.Errorf("radio: sender %d not on medium", from)
+		return 0, fmt.Errorf("radio: sender %d: %w", from, ErrNotOnMedium)
 	}
 	pt, ok := m.positions[to]
 	if !ok {
-		return 0, fmt.Errorf("radio: receiver %d not on medium", to)
+		return 0, fmt.Errorf("radio: receiver %d: %w", to, ErrNotOnMedium)
 	}
 	if m.InBlackout(from) {
 		m.stats.BlackoutDrops++
-		return 0, fmt.Errorf("radio: sender %d blacked out", from)
+		return 0, fmt.Errorf("radio: sender %d: %w", from, ErrBlackout)
 	}
 	d := pf.Dist(pt)
 	if d > maxRange {
-		return 0, fmt.Errorf("radio: %d→%d distance %.3g exceeds range %.3g", from, to, d, maxRange)
+		return 0, fmt.Errorf("radio: %d→%d distance %.3g exceeds range %.3g: %w", from, to, d, maxRange, ErrOutOfRange)
 	}
 	m.stats.Unicasts++
 	if m.trace != nil {
@@ -540,11 +555,11 @@ func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
 	}
 	if m.InBlackout(to) {
 		m.stats.BlackoutDrops++
-		return 0, fmt.Errorf("radio: receiver %d blacked out", to)
+		return 0, fmt.Errorf("radio: receiver %d: %w", to, ErrBlackout)
 	}
 	if m.inj.DropDelivery() {
 		m.stats.FaultDrops++
-		return 0, fmt.Errorf("radio: %d→%d delivery lost", from, to)
+		return 0, fmt.Errorf("radio: %d→%d: %w", from, to, ErrDeliveryLost)
 	}
 	m.stats.Deliveries++
 	return m.inj.JitterDelay(m.Delay(d)), nil

@@ -1,0 +1,57 @@
+package traffic_test
+
+import (
+	"testing"
+
+	"gs3/internal/traffic"
+)
+
+// The data-plane property from the issue: on a settled, gap-free
+// structure with zero faults, (a) convergecast delivery ratio is
+// exactly 1.0, and (b) geographic routing delivers every packet with
+// every hop strictly decreasing cell distance — Report.Detours counts
+// exactly the hops that violated strict decrease, so Detours == 0 is
+// the no-loops/greedy-monotonicity property, and LostTTL == 0 confirms
+// no packet ever cycled.
+
+func TestPropertySettledConvergecastExact(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		s := settled(t, 10, 55, seed)
+		plane, err := s.ServeTraffic(traffic.Config{Packets: 400, Rate: 200})
+		if err != nil {
+			t.Fatalf("seed %d: ServeTraffic: %v", seed, err)
+		}
+		rep := plane.Run()
+		if rep.DeliveryRatio != 1.0 || rep.Delivered != rep.Generated {
+			t.Errorf("seed %d: convergecast ratio %v (delivered %d/%d, noroute=%d hopfail=%d ttl=%d expired=%d)",
+				seed, rep.DeliveryRatio, rep.Delivered, rep.Generated,
+				rep.LostNoRoute, rep.LostHopFail, rep.LostTTL, rep.Expired)
+		}
+	}
+}
+
+func TestPropertySettledGeoRoutingGreedy(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		s := settled(t, 10, 55, seed)
+		plane, err := s.ServeTraffic(traffic.Config{Packets: 400, Rate: 200, P2PFraction: 1})
+		if err != nil {
+			t.Fatalf("seed %d: ServeTraffic: %v", seed, err)
+		}
+		rep := plane.Run()
+		if rep.DeliveryRatio != 1.0 {
+			t.Errorf("seed %d: p2p delivery ratio %v (delivered %d/%d, noroute=%d hopfail=%d ttl=%d expired=%d)",
+				seed, rep.DeliveryRatio, rep.Delivered, rep.Generated,
+				rep.LostNoRoute, rep.LostHopFail, rep.LostTTL, rep.Expired)
+		}
+		if rep.Detours != 0 {
+			t.Errorf("seed %d: %d detour hops on a settled gap-free structure; every hop must strictly decrease cell distance",
+				seed, rep.Detours)
+		}
+		if rep.LostTTL != 0 {
+			t.Errorf("seed %d: %d packets hit the TTL — routing loop on a settled structure", seed, rep.LostTTL)
+		}
+		if rep.MaxHops > float64(40) {
+			t.Errorf("seed %d: max hops %v suspiciously large for region 55, cell radius 10", seed, rep.MaxHops)
+		}
+	}
+}

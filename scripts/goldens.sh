@@ -41,6 +41,11 @@ run chaos_seed7 "$bindir/gs3sim" -region 300 -loss 0.2 -blackout-rate 0.02 \
 run faults_jitter_seed9 "$bindir/gs3sim" -region 300 -loss 0.15 -dup 0.05 \
     -jitter 0.2 -sweeps 40 -seed 9
 run mobile_seed2 "$bindir/gs3sim" -region 250 -mobile -sweeps 40 -seed 2
+run traffic_settled_seed3 "$bindir/gs3sim" -region 300 -r 50 -sweeps 15 \
+    -packets 10000 -traffic-rate 500 -p2p 0.3 -seed 3
+run traffic_chaos_seed4 "$bindir/gs3sim" -region 300 -r 50 -sweeps 15 \
+    -packets 10000 -traffic-rate 500 -p2p 0.3 -loss 0.1 -blackout-rate 0.01 \
+    -blackout-sweeps 3 -churn 20 -seed 4
 run bench_quick_par "$bindir/gs3bench" -quick -seed 7 -exp A2,T3
 run bench_quick_seq "$bindir/gs3bench" -quick -seed 7 -exp A2,T3 -seq
 

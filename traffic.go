@@ -1,0 +1,110 @@
+package gs3
+
+import (
+	"gs3/internal/rng"
+	"gs3/internal/traffic"
+)
+
+// TrafficSpec parameterizes a packet-level traffic run (ServeTraffic).
+// Where Collect computes one instantaneous aggregation round over a
+// snapshot, a traffic run routes individual packets through the live
+// network — each hop a scheduled radio delivery that healing, faults,
+// and membership churn interleave with.
+type TrafficSpec struct {
+	// Packets is the total number of packets to generate. Required.
+	Packets int
+	// Rate is the aggregate packet arrival rate per virtual second.
+	// Required.
+	Rate float64
+	// P2PFraction routes this fraction of packets point-to-point with
+	// cell-coordinate geographic routing; the rest are convergecast to
+	// the sink. Default 0 (all convergecast).
+	P2PFraction float64
+	// TTL bounds per-packet hops (default 64); HopRetries bounds
+	// per-hop retransmission attempts (default 3).
+	TTL        int
+	HopRetries int
+	// Seed feeds the load generator's own RNG stream; 0 means 1. The
+	// generator never draws from the network's stream, so enabling
+	// traffic does not perturb protocol behavior.
+	Seed uint64
+}
+
+// TrafficReport is the outcome of one ServeTraffic run. Latencies are
+// virtual seconds from generation to delivery; head load counts
+// successful transmissions by head-role nodes.
+type TrafficReport struct {
+	Generated     uint64
+	Delivered     uint64
+	Lost          uint64
+	DeliveryRatio float64
+	// Latency percentiles and maximum over delivered packets.
+	LatencyP50  float64
+	LatencyP99  float64
+	LatencyP999 float64
+	LatencyMean float64
+	LatencyMax  float64
+	// Retries counts per-hop re-attempts — the work the data plane
+	// spent bridging dead links and lost deliveries until healing (or
+	// luck) restored the route.
+	Retries uint64
+	// MeanHops and MaxHops summarize delivered path lengths; Detours
+	// counts geographic hops that could not strictly approach the
+	// destination (0 on a settled gap-free structure).
+	MeanHops float64
+	MaxHops  float64
+	Detours  uint64
+	// Forwards, HeadsUsed, and HeadEnergy summarize the relay load the
+	// run placed on heads (energy at unit cost per forward).
+	Forwards      uint64
+	HeadsUsed     int
+	HeadEnergy    float64
+	MaxHeadEnergy float64
+}
+
+// ServeTraffic generates spec.Packets packets open-loop at spec.Rate
+// and routes each hop-by-hop over the current structure: convergecast
+// packets climb associate→head→parent to the sink, point-to-point
+// packets follow greedy cell-coordinate forwarding across the head
+// graph. The call drives the network's virtual clock until every
+// packet is delivered or lost (plus a bounded drain window), with
+// maintenance sweeps — if EnableSelfHealing is on — running
+// interleaved between packet hops; combine with Kill/Join/Move calls
+// beforehand to measure delivery through an actively healing
+// structure. See Collect for the instantaneous snapshot alternative.
+func (n *Network) ServeTraffic(spec TrafficSpec) (TrafficReport, error) {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	plane, err := traffic.New(n.nw, traffic.Config{
+		Packets:     spec.Packets,
+		Rate:        spec.Rate,
+		P2PFraction: spec.P2PFraction,
+		TTL:         spec.TTL,
+		HopRetries:  spec.HopRetries,
+	}, rng.New(seed))
+	if err != nil {
+		return TrafficReport{}, err
+	}
+	rep := plane.Run()
+	return TrafficReport{
+		Generated:     rep.Generated,
+		Delivered:     rep.Delivered,
+		Lost:          rep.Lost(),
+		DeliveryRatio: rep.DeliveryRatio,
+		LatencyP50:    rep.LatencyP50,
+		LatencyP99:    rep.LatencyP99,
+		LatencyP999:   rep.LatencyP999,
+		LatencyMean:   rep.LatencyMean,
+		LatencyMax:    rep.LatencyMax,
+		Retries:       rep.Retries,
+		MeanHops:      rep.MeanHops,
+		MaxHops:       rep.MaxHops,
+		Detours:       rep.Detours,
+		Forwards:      rep.Forwards,
+		HeadsUsed:     rep.HeadsUsed,
+		HeadEnergy:    rep.HeadEnergy,
+		MaxHeadEnergy: rep.MaxHeadEnergy,
+	}, nil
+}

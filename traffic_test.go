@@ -1,0 +1,35 @@
+package gs3
+
+import "testing"
+
+func TestServeTrafficFacade(t *testing.T) {
+	net := demoNetwork(t)
+	net.EnableSelfHealing(Dynamic)
+	net.RunFor(10)
+	rep, err := net.ServeTraffic(TrafficSpec{Packets: 200, Rate: 100, P2PFraction: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generated != 200 {
+		t.Fatalf("generated %d, want 200", rep.Generated)
+	}
+	if rep.Delivered+rep.Lost != rep.Generated {
+		t.Fatalf("accounting leak: %+v", rep)
+	}
+	if rep.DeliveryRatio != 1.0 {
+		t.Fatalf("zero-fault settled run delivered %v, want 1.0 (%+v)", rep.DeliveryRatio, rep)
+	}
+	if rep.LatencyP50 <= 0 || rep.HeadEnergy <= 0 {
+		t.Fatalf("missing latency/energy accounting: %+v", rep)
+	}
+}
+
+func TestServeTrafficValidation(t *testing.T) {
+	net := demoNetwork(t)
+	if _, err := net.ServeTraffic(TrafficSpec{Packets: 0, Rate: 10}); err == nil {
+		t.Error("zero Packets accepted")
+	}
+	if _, err := net.ServeTraffic(TrafficSpec{Packets: 10, Rate: 0}); err == nil {
+		t.Error("zero Rate accepted")
+	}
+}
