@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos traffic-smoke goldens golden-diff check
+.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos traffic-smoke configure-smoke goldens golden-diff check
 
 all: check
 
@@ -29,10 +29,10 @@ bench:
 # Archive the perf-sensitive micro/macro benchmarks into BENCH_FILE
 # under the RUN label (see cmd/benchjson). Override RUN to record a
 # different label, e.g. `make bench-json RUN=pre-pr7`.
-RUN ?= post-pr6
-BENCH_FILE ?= BENCH_PR6.json
+RUN ?= post-pr7
+BENCH_FILE ?= BENCH_PR7.json
 bench-json:
-	$(GO) test -bench='ConfigureStructure|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck|ServeTraffic' \
+	$(GO) test -bench='ConfigureStructure|ConfigureSharded|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck|ServeTraffic' \
 		-benchmem -run='^$$' . ./internal/radio | \
 		$(GO) run ./cmd/benchjson -file $(BENCH_FILE) -run $(RUN)
 
@@ -71,6 +71,12 @@ traffic-smoke:
 	$(GO) run ./cmd/gs3sim -region 300 -r 50 -sweeps 15 -packets 20000 -traffic-rate 500 \
 		-p2p 0.3 -loss 0.1 -blackout-rate 0.01 -churn 20 -seed 4 -q
 
+# Large-scale race gate for the sharded configure executor: a ~50k-node
+# field configured wave-parallel under the race detector, exercising the
+# level barriers and per-chunk ASSOCIATE_ORG_RESP fan-out at scale.
+configure-smoke:
+	GS3_CONFIGURE_SMOKE=1 $(GO) test -race -run TestConfigureSmoke50k -v ./internal/netsim
+
 # Re-archive the golden experiment stdout under testdata/goldens/.
 goldens:
 	./scripts/goldens.sh generate
@@ -80,4 +86,4 @@ goldens:
 golden-diff:
 	./scripts/goldens.sh diff
 
-check: build vet race bench-smoke golden-diff fuzz-smoke chaos traffic-smoke
+check: build vet race bench-smoke configure-smoke golden-diff fuzz-smoke chaos traffic-smoke

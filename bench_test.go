@@ -10,6 +10,7 @@
 package gs3
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -49,6 +50,83 @@ func BenchmarkConfigureStructure(b *testing.B) {
 		if r := check.Invariant(s.Net.Snapshot(), check.Static); !r.OK() {
 			b.Fatalf("invariant violated: %v", r.Violations[0])
 		}
+	}
+}
+
+// BenchmarkConfigureStructureLarge is F1 at 10,000+ nodes: the serial
+// configure plus invariant check on a deployment an order of magnitude
+// past the paper's scale. This is the workload the struct-of-arrays
+// node store is sized for; compare against BenchmarkConfigureSharded
+// for the wave-parallel executor on the same field.
+func BenchmarkConfigureStructureLarge(b *testing.B) {
+	opt := netsim.DefaultOptions(100, 1250)
+	for i := 0; i < b.N; i++ {
+		s, err := netsim.Build(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(s.Dep.Positions); n < 10000 {
+			b.Fatalf("deployment too small for the large benchmark: %d nodes", n)
+		}
+		if _, err := s.Configure(); err != nil {
+			b.Fatal(err)
+		}
+		if r := check.Invariant(s.Net.Snapshot(), check.Static); !r.OK() {
+			b.Fatalf("invariant violated: %v", r.Violations[0])
+		}
+	}
+}
+
+// BenchmarkConfigureSharded is the wave-parallel executor on the same
+// 10,000+ node field as BenchmarkConfigureStructureLarge, one
+// sub-benchmark per worker count. Results are byte-identical across
+// workers (asserted by TestConfigureShardedMatchesSerial); only the
+// wall clock changes.
+func BenchmarkConfigureSharded(b *testing.B) {
+	opt := netsim.DefaultOptions(100, 1250)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := netsim.Build(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.ConfigureSharded(workers); err != nil {
+					b.Fatal(err)
+				}
+				if r := check.Invariant(s.Net.Snapshot(), check.Static); !r.OK() {
+					b.Fatalf("invariant violated: %v", r.Violations[0])
+				}
+			}
+		})
+	}
+}
+
+// TestConfigureAllocBudget pins the allocation count of the F1 path
+// (build + configure + snapshot + invariant) so the dense-store and
+// dense-checker work cannot silently regress. The measured figure at
+// the time of pinning was ~290 allocations per run; the ceiling leaves
+// headroom for incidental growth while catching any return of the
+// per-node allocation patterns (thousands per run) this budget removed.
+func TestConfigureAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run alloc measurement")
+	}
+	opt := netsim.DefaultOptions(100, 400)
+	allocs := testing.AllocsPerRun(5, func() {
+		s, err := netsim.Build(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Configure(); err != nil {
+			t.Fatal(err)
+		}
+		if r := check.Invariant(s.Net.Snapshot(), check.Static); !r.OK() {
+			t.Fatalf("invariant violated: %v", r.Violations[0])
+		}
+	})
+	if allocs > 600 {
+		t.Errorf("configure+check path allocates %.0f times per run, budget is 600", allocs)
 	}
 }
 

@@ -13,6 +13,12 @@
 // optimization and "post-pr2" after — so a reviewer can diff the two
 // without re-running anything. Existing runs with other labels are
 // preserved; re-using a label overwrites that run only.
+//
+// With -diff, benchjson compares two archived runs instead of reading
+// stdin, printing the per-benchmark ns/op delta and exiting nonzero if
+// any benchmark present in both runs regressed by more than 10%:
+//
+//	go run ./cmd/benchjson -file BENCH_PR7.json -diff pre-pr7,post-pr7
 package main
 
 import (
@@ -46,7 +52,28 @@ const schemaTag = "gs3-bench-v1"
 func main() {
 	file := flag.String("file", "BENCH_PR2.json", "JSON file to create or merge into")
 	run := flag.String("run", "run", "label for this benchmark run")
+	diff := flag.String("diff", "", "compare two archived runs: old,new (no stdin read)")
 	flag.Parse()
+
+	if *diff != "" {
+		doc, err := readDoc(*file)
+		if err != nil {
+			fatal(err)
+		}
+		labels := strings.SplitN(*diff, ",", 2)
+		if len(labels) != 2 {
+			fatal(fmt.Errorf("-diff wants two labels: old,new"))
+		}
+		report, regressed, err := diffRuns(doc, labels[0], labels[1], 0.10)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		if regressed {
+			fatal(fmt.Errorf("ns/op regression over 10%% between %q and %q", labels[0], labels[1]))
+		}
+		return
+	}
 
 	parsed, err := parseBench(os.Stdin)
 	if err != nil {
@@ -56,19 +83,9 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
 
-	doc := document{Schema: schemaTag, Runs: map[string]map[string]metric{}}
-	if raw, err := os.ReadFile(*file); err == nil {
-		if err := json.Unmarshal(raw, &doc); err != nil {
-			fatal(fmt.Errorf("%s: %w", *file, err))
-		}
-		if doc.Schema != schemaTag {
-			fatal(fmt.Errorf("%s: schema %q, want %q", *file, doc.Schema, schemaTag))
-		}
-	} else if !os.IsNotExist(err) {
+	doc, err := readDoc(*file)
+	if err != nil {
 		fatal(err)
-	}
-	if doc.Runs == nil {
-		doc.Runs = map[string]map[string]metric{}
 	}
 	doc.Runs[*run] = parsed
 
@@ -86,6 +103,77 @@ func main() {
 	}
 	sort.Strings(names)
 	fmt.Printf("%s: run %q, %d benchmarks: %s\n", *file, *run, len(names), strings.Join(names, ", "))
+}
+
+// readDoc loads the archive file, returning an empty document when the
+// file does not exist yet.
+func readDoc(path string) (document, error) {
+	doc := document{Schema: schemaTag, Runs: map[string]map[string]metric{}}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return doc, nil
+	}
+	if err != nil {
+		return document{}, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != schemaTag {
+		return document{}, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, schemaTag)
+	}
+	if doc.Runs == nil {
+		doc.Runs = map[string]map[string]metric{}
+	}
+	return doc, nil
+}
+
+// diffRuns renders an aligned per-benchmark comparison of two archived
+// runs and reports whether any benchmark present in both regressed its
+// ns/op by more than threshold (0.10 = 10%). Benchmarks present in only
+// one run are listed but never count as regressions — new benchmarks
+// have no baseline, removed ones no measurement.
+func diffRuns(doc document, oldLabel, newLabel string, threshold float64) (string, bool, error) {
+	oldRun, ok := doc.Runs[oldLabel]
+	if !ok {
+		return "", false, fmt.Errorf("no run %q in archive", oldLabel)
+	}
+	newRun, ok := doc.Runs[newLabel]
+	if !ok {
+		return "", false, fmt.Errorf("no run %q in archive", newLabel)
+	}
+	names := make([]string, 0, len(oldRun)+len(newRun))
+	for n := range oldRun {
+		names = append(names, n)
+	}
+	for n := range newRun {
+		if _, dup := oldRun[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-50s %14s %14s %9s\n", "benchmark", oldLabel, newLabel, "delta")
+	regressed := false
+	for _, n := range names {
+		o, inOld := oldRun[n]
+		nn, inNew := newRun[n]
+		switch {
+		case !inOld:
+			fmt.Fprintf(&b, "%-50s %14s %14.0f %9s\n", n, "-", nn.NsPerOp, "new")
+		case !inNew:
+			fmt.Fprintf(&b, "%-50s %14.0f %14s %9s\n", n, o.NsPerOp, "-", "gone")
+		default:
+			delta := (nn.NsPerOp - o.NsPerOp) / o.NsPerOp
+			mark := ""
+			if delta > threshold {
+				mark = " REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(&b, "%-50s %14.0f %14.0f %+8.1f%%%s\n", n, o.NsPerOp, nn.NsPerOp, delta*100, mark)
+		}
+	}
+	return b.String(), regressed, nil
 }
 
 // parseBench extracts benchmark results from `go test -bench` output.

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func docWith(runs map[string]map[string]float64) document {
+	doc := document{Schema: schemaTag, Runs: map[string]map[string]metric{}}
+	for label, benches := range runs {
+		doc.Runs[label] = map[string]metric{}
+		for name, ns := range benches {
+			doc.Runs[label][name] = metric{NsPerOp: ns}
+		}
+	}
+	return doc
+}
+
+func TestDiffRunsFlagsRegression(t *testing.T) {
+	doc := docWith(map[string]map[string]float64{
+		"pre":  {"BenchmarkA": 1000, "BenchmarkB": 1000},
+		"post": {"BenchmarkA": 900, "BenchmarkB": 1200},
+	})
+	report, regressed, err := diffRuns(doc, "pre", "post", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("20% slowdown on BenchmarkB not flagged")
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report lacks REGRESSION marker:\n%s", report)
+	}
+	if strings.Count(report, "REGRESSION") != 1 {
+		t.Errorf("exactly one regression expected:\n%s", report)
+	}
+}
+
+func TestDiffRunsWithinThreshold(t *testing.T) {
+	doc := docWith(map[string]map[string]float64{
+		"pre":  {"BenchmarkA": 1000},
+		"post": {"BenchmarkA": 1090},
+	})
+	_, regressed, err := diffRuns(doc, "pre", "post", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("9% slowdown flagged as regression at 10% threshold")
+	}
+}
+
+func TestDiffRunsDisjointBenchmarks(t *testing.T) {
+	doc := docWith(map[string]map[string]float64{
+		"pre":  {"BenchmarkOld": 1000},
+		"post": {"BenchmarkNew": 99999},
+	})
+	report, regressed, err := diffRuns(doc, "pre", "post", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("benchmarks without a baseline must not count as regressions")
+	}
+	if !strings.Contains(report, "new") || !strings.Contains(report, "gone") {
+		t.Errorf("report should mark added and removed benchmarks:\n%s", report)
+	}
+}
+
+func TestDiffRunsUnknownLabel(t *testing.T) {
+	doc := docWith(map[string]map[string]float64{"pre": {"BenchmarkA": 1}})
+	if _, _, err := diffRuns(doc, "pre", "nope", 0.10); err == nil {
+		t.Error("unknown run label accepted")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,8 +37,32 @@ type experiment struct {
 	run  func(p runner.Pool, seed uint64, quick bool) (string, error)
 }
 
-func experiments() []experiment {
+// experiments returns the experiment registry. nodes parameterizes the
+// N1 scaling series: the largest target configured is nodes, with two
+// smaller decades below it for the trend.
+func experiments(nodes int) []experiment {
 	return []experiment{
+		{"N1", "sharded configuration vs node count (largest target: -nodes)", func(p runner.Pool, seed uint64, quick bool) (string, error) {
+			targets := []int{nodes / 100, nodes / 10, nodes}
+			if quick {
+				targets = targets[:2]
+			}
+			kept := targets[:0]
+			for _, n := range targets {
+				if n >= 500 {
+					kept = append(kept, n)
+				}
+			}
+			workers := p.Workers
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			t, err := exp.ConfigureScaling(100, kept, workers, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
 		{"F7", "Figure 7: expected ratio of non-ideal cells vs Rt/R", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			trials := 200000
 			if quick {
@@ -266,6 +291,7 @@ func run(args []string, out *os.File) (retErr error) {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		seed     = fs.Uint64("seed", 7, "random seed")
 		quick    = fs.Bool("quick", false, "smaller parameter sweeps")
+		nodes    = fs.Int("nodes", 100000, "largest node-count target for the N1 scaling series")
 		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS)")
 		seq      = fs.Bool("seq", false, "run trials strictly serially (same output, slower)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -283,7 +309,7 @@ func run(args []string, out *os.File) (retErr error) {
 			retErr = perr
 		}
 	}()
-	exps := experiments()
+	exps := experiments(*nodes)
 	if *list {
 		for _, e := range exps {
 			fmt.Fprintf(out, "%-5s %s\n", e.id, e.desc)

@@ -8,7 +8,7 @@ import (
 
 func TestExperimentIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
-	for _, e := range experiments() {
+	for _, e := range experiments(10000) {
 		if seen[e.id] {
 			t.Errorf("duplicate experiment id %q", e.id)
 		}
@@ -18,7 +18,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 		}
 	}
 	// Every experiment promised by DESIGN.md is present.
-	for _, id := range []string{"F7", "F8", "T1", "T2", "T3", "T4", "T5", "S1", "M1", "B1", "B2"} {
+	for _, id := range []string{"F7", "F8", "T1", "T2", "T3", "T4", "T5", "S1", "M1", "B1", "B2", "N1"} {
 		if !seen[id] {
 			t.Errorf("experiment %q missing", id)
 		}
@@ -83,6 +83,15 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestRunScalingExperiment exercises the -nodes flag end to end: N1
+// with a small target must print the scaling table.
+func TestRunScalingExperiment(t *testing.T) {
+	out := captureRun(t, []string{"-exp", "N1", "-quick", "-nodes", "20000"})
+	if !strings.Contains(out, "[N1]") || !strings.Contains(out, "broadcastsPerNode") {
+		t.Errorf("N1 output malformed:\n%s", out[:min(200, len(out))])
+	}
 }
 
 // TestRunParallelMatchesSeq is the CLI-level determinism check: the

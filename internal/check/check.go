@@ -54,48 +54,163 @@ func (r *Result) addf(clause string, node radio.NodeID, format string, args ...a
 	})
 }
 
-// index provides O(1) lookups over a snapshot: per-node views, the
+// index provides O(1) lookups over a snapshot: ID→view resolution, the
 // head list, per-head member lists, and a head-position grid that
 // answers "which heads are near p" in output-sensitive time, so the
 // neighbor-band clauses cost O(heads) overall instead of O(heads²).
+//
+// Node IDs are allocated densely from 0 (see radio.NodeID), so the
+// ID→view table is a flat slice rather than a map, and the member lists
+// are one counting-sorted backing array — building an index costs a
+// fixed handful of allocations instead of a few per node, which keeps
+// Invariant off the allocator on benchmark hot paths.
 type index struct {
-	snap    core.Snapshot
-	views   map[radio.NodeID]core.NodeView
-	heads   []core.NodeView
-	members map[radio.NodeID][]radio.NodeID
+	snap core.Snapshot
+	// byID maps a node ID to its position in snap.Nodes (-1 if absent).
+	byID  []int32
+	heads []core.NodeView
+	// headNode[i] is the snap.Nodes index of heads[i]; headOrd[j] is the
+	// head ordinal of snap.Nodes[j] (-1 for non-heads).
+	headNode []int32
+	headOrd  []int32
 
-	// headGrid buckets indices into heads by position; cell is the
-	// bucket edge (the neighbor-band radius, so band queries scan a
-	// 3×3 ring). nearBuf is the reusable result buffer of headsNear.
-	headGrid map[gridKey][]int
+	// Associates grouped by head ordinal: membersOf(i) is
+	// memberIDs[memberOff[i]:memberOff[i+1]], ascending by ID within
+	// each group (snapshot order is ascending and the counting sort is
+	// stable).
+	memberOff []int32
+	memberIDs []radio.NodeID
+
+	// headGrid buckets head ordinals by position; cell is the bucket
+	// edge (the neighbor-band radius, so band queries scan a 3×3 ring).
+	// Bucket slices are carved from one backing array. nearBuf is the
+	// reusable result buffer of headsNear.
+	headGrid map[gridKey][]int32
 	cell     float64
 	nearBuf  []int
+
+	// mark/markGen form an O(1)-reset visited set for the tree walks:
+	// mark[j] == markGen means snap.Nodes[j] is visited in the current
+	// walk.
+	mark    []int32
+	markGen int32
 }
 
 type gridKey struct{ x, y int }
 
 func newIndex(s core.Snapshot) *index {
+	maxID := radio.NodeID(-1)
+	nHeads := 0
+	for i := range s.Nodes {
+		if s.Nodes[i].ID > maxID {
+			maxID = s.Nodes[i].ID
+		}
+		if s.Nodes[i].IsHead() {
+			nHeads++
+		}
+	}
 	ix := &index{
-		snap:    s,
-		views:   make(map[radio.NodeID]core.NodeView, len(s.Nodes)),
-		members: make(map[radio.NodeID][]radio.NodeID),
-		cell:    s.Config.NeighborDistMax(),
+		snap:     s,
+		byID:     make([]int32, maxID+1),
+		heads:    make([]core.NodeView, 0, nHeads),
+		headNode: make([]int32, 0, nHeads),
+		headOrd:  make([]int32, len(s.Nodes)),
+		mark:     make([]int32, len(s.Nodes)),
+		cell:     s.Config.NeighborDistMax(),
 	}
-	for _, v := range s.Nodes {
-		ix.views[v.ID] = v
+	for i := range ix.byID {
+		ix.byID[i] = -1
+	}
+	for j := range s.Nodes {
+		v := &s.Nodes[j]
+		ix.byID[v.ID] = int32(j)
+		ix.headOrd[j] = -1
 		if v.IsHead() {
-			ix.heads = append(ix.heads, v)
-		}
-		if v.Status == core.StatusAssociate {
-			ix.members[v.Head] = append(ix.members[v.Head], v.ID)
+			ix.headOrd[j] = int32(len(ix.heads))
+			ix.heads = append(ix.heads, *v)
+			ix.headNode = append(ix.headNode, int32(j))
 		}
 	}
-	ix.headGrid = make(map[gridKey][]int, len(ix.heads))
-	for i, h := range ix.heads {
-		k := ix.keyOf(h.Pos)
-		ix.headGrid[k] = append(ix.headGrid[k], i)
+
+	// Members: counting layout. Associates whose Head does not resolve
+	// to a live head are dropped — member lists are only ever queried
+	// for actual heads, and the membership clauses report those nodes
+	// separately.
+	ix.memberOff = make([]int32, nHeads+1)
+	for j := range s.Nodes {
+		if s.Nodes[j].Status == core.StatusAssociate {
+			if ho := ix.headOrdOf(s.Nodes[j].Head); ho >= 0 {
+				ix.memberOff[ho+1]++
+			}
+		}
+	}
+	for i := 1; i <= nHeads; i++ {
+		ix.memberOff[i] += ix.memberOff[i-1]
+	}
+	ix.memberIDs = make([]radio.NodeID, ix.memberOff[nHeads])
+	cursor := make([]int32, nHeads)
+	copy(cursor, ix.memberOff[:nHeads])
+	for j := range s.Nodes {
+		if s.Nodes[j].Status == core.StatusAssociate {
+			if ho := ix.headOrdOf(s.Nodes[j].Head); ho >= 0 {
+				ix.memberIDs[cursor[ho]] = s.Nodes[j].ID
+				cursor[ho]++
+			}
+		}
+	}
+
+	// Head grid: count per bucket first, then carve every bucket from
+	// one backing array so the fill pass never reallocates.
+	counts := make(map[gridKey]int32, nHeads)
+	for i := range ix.heads {
+		counts[ix.keyOf(ix.heads[i].Pos)]++
+	}
+	backing := make([]int32, nHeads)
+	ix.headGrid = make(map[gridKey][]int32, len(counts))
+	n := int32(0)
+	for k, c := range counts {
+		ix.headGrid[k] = backing[n:n : n+c]
+		n += c
+	}
+	for i := range ix.heads {
+		k := ix.keyOf(ix.heads[i].Pos)
+		ix.headGrid[k] = append(ix.headGrid[k], int32(i))
 	}
 	return ix
+}
+
+// nodeIdx returns the snap.Nodes position of id, or -1.
+func (ix *index) nodeIdx(id radio.NodeID) int32 {
+	if id < 0 || int(id) >= len(ix.byID) {
+		return -1
+	}
+	return ix.byID[id]
+}
+
+// headOrdOf returns the head ordinal of id, or -1 if id is absent or
+// not a head.
+func (ix *index) headOrdOf(id radio.NodeID) int32 {
+	j := ix.nodeIdx(id)
+	if j < 0 {
+		return -1
+	}
+	return ix.headOrd[j]
+}
+
+// view resolves id to its snapshot view, the dense-slice equivalent of
+// the old views-map lookup.
+func (ix *index) view(id radio.NodeID) (core.NodeView, bool) {
+	j := ix.nodeIdx(id)
+	if j < 0 {
+		return core.NodeView{}, false
+	}
+	return ix.snap.Nodes[j], true
+}
+
+// membersOf returns the associate IDs of the head with ordinal ho,
+// ascending. The slice aliases the index's backing array: read-only.
+func (ix *index) membersOf(ho int) []radio.NodeID {
+	return ix.memberIDs[ix.memberOff[ho]:ix.memberOff[ho+1]]
 }
 
 func (ix *index) keyOf(p geom.Point) gridKey {
@@ -116,7 +231,7 @@ func (ix *index) headsNear(p geom.Point, dist float64) []int {
 		for dy := -r; dy <= r; dy++ {
 			for _, i := range ix.headGrid[gridKey{base.x + dx, base.y + dy}] {
 				if ix.heads[i].Pos.Dist2(p) <= r2 {
-					ix.nearBuf = append(ix.nearBuf, i)
+					ix.nearBuf = append(ix.nearBuf, int(i))
 				}
 			}
 		}
@@ -145,10 +260,16 @@ func (ix *index) isBoundary(h core.NodeView) bool {
 func Invariant(s core.Snapshot, mode Mode) Result {
 	ix := newIndex(s)
 	var r Result
-	checkI1(ix, &r)
-	checkI2(ix, mode, &r)
-	checkI3(ix, mode, &r)
+	invariantOn(ix, mode, &r)
 	return r
+}
+
+// invariantOn runs the invariant clauses against an existing index, so
+// Fixpoint shares one index build with the fixpoint clauses.
+func invariantOn(ix *index, mode Mode, r *Result) {
+	checkI1(ix, r)
+	checkI2(ix, mode, r)
+	checkI3(ix, mode, r)
 }
 
 // checkI1 verifies connectivity: I₁.₁ (head-graph edges are physical
@@ -156,13 +277,13 @@ func Invariant(s core.Snapshot, mode Mode) Result {
 func checkI1(ix *index, r *Result) {
 	cfg := ix.snap.Config
 	bigID := ix.snap.BigID
-	big, haveBig := ix.views[bigID]
+	big, haveBig := ix.view(bigID)
 
 	for _, h := range ix.heads {
 		// I1.1: parent and children within local-coordination range,
 		// hence physically connected (nodes can reach √3R+2Rt).
 		if h.Parent != radio.None && h.Parent != h.ID {
-			if p, ok := ix.views[h.Parent]; ok && p.IsHead() {
+			if p, ok := ix.view(h.Parent); ok && p.IsHead() {
 				if d := h.Pos.Dist(p.Pos); d > cfg.SearchRadius()+2*cfg.Rt+1e-9 {
 					r.addf("I1.1", h.ID, "parent %d at distance %.3g beyond range", h.Parent, d)
 				}
@@ -189,7 +310,7 @@ func checkI1(ix *index, r *Result) {
 		}
 	}
 	for _, h := range ix.heads {
-		seen := map[radio.NodeID]bool{}
+		ix.markGen++
 		cur := h
 		for {
 			if cur.ID == root {
@@ -202,16 +323,17 @@ func checkI1(ix *index, r *Result) {
 				// progress, not a violation.
 				break
 			}
-			if seen[cur.ID] {
+			if ci := ix.nodeIdx(cur.ID); ix.mark[ci] == ix.markGen {
 				r.addf("I1.2", h.ID, "cycle through %d", cur.ID)
 				break
+			} else {
+				ix.mark[ci] = ix.markGen
 			}
-			seen[cur.ID] = true
 			if cur.Parent == radio.None || cur.Parent == cur.ID {
 				r.addf("I1.2", h.ID, "walk stuck at %d (parent %d)", cur.ID, cur.Parent)
 				break
 			}
-			next, ok := ix.views[cur.Parent]
+			next, ok := ix.view(cur.Parent)
 			if !ok || !next.IsHead() {
 				r.addf("I1.2", h.ID, "parent %d of %d is not a live head", cur.Parent, cur.ID)
 				break
@@ -226,7 +348,8 @@ func checkI2(ix *index, mode Mode, r *Result) {
 	cfg := ix.snap.Config
 	lo, hi := cfg.NeighborDistMin(), cfg.NeighborDistMax()
 
-	for _, h := range ix.heads {
+	for ho := range ix.heads {
+		h := ix.heads[ho]
 		boundary := ix.isBoundary(h)
 
 		// Head within Rt of its IL (Corollary 2's bounded deviation).
@@ -267,7 +390,7 @@ func checkI2(ix *index, mode Mode, r *Result) {
 		// over the big node's cell during a BIG_SLIDE (it inherits the
 		// big node's children) — gets the same bound.
 		isProxy := false
-		if big, ok := ix.views[ix.snap.BigID]; ok {
+		if big, ok := ix.view(ix.snap.BigID); ok {
 			if big.Proxy == h.ID ||
 				(big.Status == core.StatusBigSlide && big.Head == h.ID) {
 				isProxy = true
@@ -296,8 +419,8 @@ func checkI2(ix *index, mode Mode, r *Result) {
 		if boundary {
 			bound = cfg.HeadSpacing() + 2*cfg.Rt
 		}
-		for _, m := range ix.members[h.ID] {
-			mv := ix.views[m]
+		for _, m := range ix.membersOf(ho) {
+			mv, _ := ix.view(m)
 			if d := mv.Pos.Dist(h.Pos); d > bound+1e-9 && !boundary {
 				r.addf("I2.4", m, "associate %.4g from head %d, bound %.4g", d, h.ID, bound)
 			}
@@ -316,7 +439,7 @@ func checkI3(ix *index, mode Mode, r *Result) {
 		if v.Status != core.StatusAssociate {
 			continue
 		}
-		hv, ok := ix.views[v.Head]
+		hv, ok := ix.view(v.Head)
 		if !ok || !hv.IsHead() {
 			r.addf("I3", v.ID, "associate of %d which is not a live head", v.Head)
 			continue
@@ -355,7 +478,8 @@ func checkI3(ix *index, mode Mode, r *Result) {
 // (F₁.₂ strengthened).
 func Fixpoint(s core.Snapshot, mode Mode) Result {
 	ix := newIndex(s)
-	r := Invariant(s, mode)
+	var r Result
+	invariantOn(ix, mode, &r)
 	checkF3(ix, &r)
 	checkF4(ix, &r)
 	if mode == Dynamic {
@@ -370,7 +494,7 @@ func checkF3(ix *index, r *Result) {
 		if v.Status != core.StatusAssociate {
 			continue
 		}
-		hv, ok := ix.views[v.Head]
+		hv, ok := ix.view(v.Head)
 		if !ok || !hv.IsHead() {
 			continue // reported by I3 already
 		}
@@ -396,55 +520,67 @@ func checkF3(ix *index, r *Result) {
 // the maximum transmission range as edge length.
 func checkF4(ix *index, r *Result) {
 	cfg := ix.snap.Config
-	reach := connectedTo(ix.snap, ix.snap.BigID, cfg.SearchRadius())
-	for _, v := range ix.snap.Nodes {
-		if !reach[v.ID] || v.Blackout {
+	reach := ix.connected(ix.snap.BigID, cfg.SearchRadius())
+	for i, v := range ix.snap.Nodes {
+		if !reach[i] || v.Blackout {
 			continue
 		}
 		switch v.Status {
 		case core.StatusBootup:
 			r.addf("F4", v.ID, "connected node left at bootup")
 		case core.StatusAssociate:
-			if _, ok := ix.views[v.Head]; !ok {
+			if _, ok := ix.view(v.Head); !ok {
 				r.addf("F4", v.ID, "associate of vanished head %d", v.Head)
 			}
 		}
 	}
 }
 
-// connectedTo computes the set of nodes connected to start in the
-// physical graph where nodes within txRange share an edge. Nodes are
-// bucketed into a txRange-sized grid so each BFS hop scans only the
-// 3×3 ring around the current node instead of every node.
-func connectedTo(s core.Snapshot, start radio.NodeID, txRange float64) map[radio.NodeID]bool {
+// connected computes, for every snapshot node, whether it is connected
+// to start in the physical graph where nodes within txRange share an
+// edge; the result is indexed by position in snap.Nodes. Nodes are
+// bucketed into a txRange-sized grid — carved from one backing array,
+// like the head grid — so each BFS hop scans only the 3×3 ring around
+// the current node instead of every node.
+func (ix *index) connected(start radio.NodeID, txRange float64) []bool {
+	s := ix.snap
 	key := func(p geom.Point) gridKey {
 		return gridKey{int(math.Floor(p.X / txRange)), int(math.Floor(p.Y / txRange))}
 	}
-	pos := make(map[radio.NodeID]geom.Point, len(s.Nodes))
-	grid := make(map[gridKey][]radio.NodeID, len(s.Nodes))
-	for _, v := range s.Nodes {
-		pos[v.ID] = v.Pos
-		k := key(v.Pos)
-		grid[k] = append(grid[k], v.ID)
+	counts := make(map[gridKey]int32, len(s.Nodes))
+	for i := range s.Nodes {
+		counts[key(s.Nodes[i].Pos)]++
 	}
-	reach := map[radio.NodeID]bool{}
-	if _, ok := pos[start]; !ok {
+	backing := make([]int32, len(s.Nodes))
+	grid := make(map[gridKey][]int32, len(counts))
+	n := int32(0)
+	for k, c := range counts {
+		grid[k] = backing[n:n : n+c]
+		n += c
+	}
+	for i := range s.Nodes {
+		k := key(s.Nodes[i].Pos)
+		grid[k] = append(grid[k], int32(i))
+	}
+	reach := make([]bool, len(s.Nodes))
+	si := ix.nodeIdx(start)
+	if si < 0 {
 		return reach
 	}
 	r2 := txRange * txRange
-	queue := []radio.NodeID{start}
-	reach[start] = true
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		cp := pos[cur]
+	queue := make([]int32, 0, len(s.Nodes))
+	queue = append(queue, si)
+	reach[si] = true
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		cp := s.Nodes[cur].Pos
 		base := key(cp)
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
-				for _, id := range grid[gridKey{base.x + dx, base.y + dy}] {
-					if !reach[id] && pos[id].Dist2(cp) <= r2 {
-						reach[id] = true
-						queue = append(queue, id)
+				for _, j := range grid[gridKey{base.x + dx, base.y + dy}] {
+					if !reach[j] && s.Nodes[j].Pos.Dist2(cp) <= r2 {
+						reach[j] = true
+						queue = append(queue, j)
 					}
 				}
 			}
@@ -459,7 +595,7 @@ func connectedTo(s core.Snapshot, start radio.NodeID, txRange float64) map[radio
 func checkMinDistTree(ix *index, r *Result) {
 	cfg := ix.snap.Config
 	root := ix.snap.BigID
-	if big, ok := ix.views[root]; ok && !big.IsHead() {
+	if big, ok := ix.view(root); ok && !big.IsHead() {
 		switch {
 		case big.Status == core.StatusBigSlide && big.Head != radio.None:
 			root = big.Head
@@ -467,38 +603,44 @@ func checkMinDistTree(ix *index, r *Result) {
 			root = big.Proxy
 		}
 	}
-	if rv, ok := ix.views[root]; !ok || rv.Blackout {
+	if rv, ok := ix.view(root); !ok || rv.Blackout {
 		return
 	}
 	// BFS over the head-neighbor graph Ghn (heads within √3R+2Rt).
 	// Transiently-down heads are excluded: ParentSeek only considers
 	// reachable heads, so the protocol's hop counts are shortest paths
-	// in the blackout-excluded graph.
-	dist := map[radio.NodeID]int{root: 0}
-	queue := []radio.NodeID{root}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		cv := ix.views[cur]
+	// in the blackout-excluded graph. dist is indexed by snap.Nodes
+	// position; -1 marks unreached.
+	dist := make([]int32, len(ix.snap.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	ri := ix.nodeIdx(root)
+	dist[ri] = 0
+	queue := make([]int32, 0, len(ix.heads)+1)
+	queue = append(queue, ri)
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		cv := ix.snap.Nodes[cur]
 		// The band query is fully consumed before the next headsNear
 		// call (next queue pop), so the scratch-backed slice is safe.
 		for _, oi := range ix.headsNear(cv.Pos, cfg.NeighborDistMax()+1e-9) {
 			o := ix.heads[oi]
-			if o.ID == cur || o.Blackout {
+			if o.ID == cv.ID || o.Blackout {
 				continue
 			}
-			if _, seen := dist[o.ID]; !seen {
-				dist[o.ID] = dist[cur] + 1
-				queue = append(queue, o.ID)
+			if oj := ix.headNode[oi]; dist[oj] < 0 {
+				dist[oj] = dist[cur] + 1
+				queue = append(queue, oj)
 			}
 		}
 	}
-	for _, h := range ix.heads {
-		want, reachable := dist[h.ID]
-		if !reachable || h.Blackout {
+	for hi, h := range ix.heads {
+		want := dist[ix.headNode[hi]]
+		if want < 0 || h.Blackout {
 			continue
 		}
-		if h.Hops != want {
+		if h.Hops != int(want) {
 			r.addf("F1.2", h.ID, "hops %d, shortest path %d", h.Hops, want)
 		}
 	}
@@ -528,7 +670,7 @@ func Stats(s core.Snapshot) StructureStats {
 			}
 		case v.Status == core.StatusAssociate:
 			st.Associates++
-			if hv, ok := ix.views[v.Head]; ok {
+			if hv, ok := ix.view(v.Head); ok {
 				st.CellRadii = append(st.CellRadii, v.Pos.Dist(hv.Pos))
 			}
 		case v.Status == core.StatusBootup:

@@ -14,12 +14,23 @@ import (
 // and schedules its HEAD_ORG. Call Engine().Run to let the computation
 // diffuse; it terminates when the event queue drains (Corollary 4).
 func (nw *Network) StartConfiguration() error {
+	if err := nw.prepareRoot(); err != nil {
+		return err
+	}
+	nw.scheduleHeadOrg(nw.bigID, 0)
+	return nil
+}
+
+// prepareRoot installs the head role on the big node for the 0-band
+// cell without scheduling anything — the shared setup of the serial
+// (StartConfiguration) and sharded (ConfigureSharded) configure paths.
+func (nw *Network) prepareRoot() error {
 	if nw.bigID == radio.None {
 		return fmt.Errorf("core: no big node in the network")
 	}
-	big := nw.nodes[nw.bigID]
+	big := nw.node(nw.bigID)
 	pos := nw.Position(nw.bigID)
-	big.Status = StatusHead
+	nw.setStatus(big, StatusHead)
 	big.IL = pos
 	big.OIL = pos
 	big.Spiral = hexlat.SpiralIndex{}
@@ -27,7 +38,6 @@ func (nw *Network) StartConfiguration() error {
 	big.ParentIL = pos
 	big.Hops = 0
 	nw.touch(nw.bigID)
-	nw.scheduleHeadOrg(nw.bigID, 0)
 	return nil
 }
 
@@ -63,7 +73,7 @@ func (nw *Network) scheduleOrgRetry(id radio.NodeID, attempt int) {
 // incomplete, re-issue via a full rescan (counted in radio.Stats as a
 // retry) and re-arm with doubled backoff; otherwise the timer dies.
 func (nw *Network) orgRetry(id radio.NodeID, attempt int) {
-	h := nw.nodes[id]
+	h := nw.node(id)
 	if h == nil || !nw.Reachable(id) || !h.Status.IsHeadRole() {
 		return
 	}
@@ -110,28 +120,61 @@ func (nw *Network) smallAt(p geom.Point, dist float64) []radio.NodeID {
 // The action is a no-op if id is dead or no longer in a head role —
 // exactly the behaviour of a crashed initiator in the paper's model.
 func (nw *Network) HeadOrg(id radio.NodeID) {
-	h := nw.nodes[id]
+	nw.headOrg(id, nil)
+}
+
+// headOrg is HeadOrg parameterized over an execution context. With
+// sk == nil it runs directly against shared state — the classic serial
+// path, byte-for-byte the pre-sharding behaviour. With a sink it runs
+// as one event of a sharded configure wave (see shard.go): spatial
+// queries go through the sink (uncounted reads plus an overlay of this
+// event's own promotions), and every effect on shared state — medium
+// head-index flips, topology touches, stats, metrics, child HEAD_ORG
+// scheduling — is buffered in the sink for ordered application at the
+// wave barrier. Node-state writes stay direct in both modes: the
+// sharded executor only runs non-conflicting events concurrently, so
+// their write sets are disjoint.
+func (nw *Network) headOrg(id radio.NodeID, sk *orgSink) {
+	h := nw.node(id)
 	if h == nil || !nw.Alive(id) || !h.Status.IsHeadRole() {
 		return
 	}
-	nw.metrics.HeadOrgs++
-	nw.emit(trace.KindHeadOrg, id, radio.None, h.IL)
+	if sk == nil {
+		nw.metrics.HeadOrgs++
+		nw.emit(trace.KindHeadOrg, id, radio.None, h.IL)
+	} else {
+		sk.metrics.HeadOrgs++
+	}
 	cfg := nw.cfg
 
 	// The org broadcast must reach the whole search region, whose apex
 	// is IL(i); the head itself may sit up to Rt from its IL, so it
 	// widens its transmission range by Rt.
-	receivers, _ := nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
+	var receivers []radio.NodeID
+	if sk == nil {
+		receivers, _ = nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
+	} else {
+		receivers = sk.broadcast(id, cfg.SearchRadius()+cfg.Rt)
+	}
 
 	isRoot := h.IsBig && h.Parent == id
 	sector := SearchSector(cfg, h.IL, h.ParentIL, isRoot)
 
 	// Partition the responders. Head selection (HEAD_SELECT) considers
 	// only nodes inside the search sector, but ASSOCIATE_ORG_RESP runs
-	// at every small node that hears the org broadcast.
-	var smallNodes, existingHeads, allSmall []radio.NodeID
+	// at every small node that hears the org broadcast. The partitions
+	// live in the HEAD_ORG scratch (the network's orgSmall/orgAll, or
+	// the sink's): they are read across the whole action, including its
+	// nested queries.
+	var smallNodes, allSmall []radio.NodeID
+	if sk == nil {
+		smallNodes, allSmall = nw.orgSmall[:0], nw.orgAll[:0]
+	} else {
+		smallNodes, allSmall = sk.smallBuf[:0], sk.allBuf[:0]
+	}
+	replies := uint64(0)
 	for _, rid := range receivers {
-		rn := nw.nodes[rid]
+		rn := nw.node(rid)
 		if rn == nil || !nw.Alive(rid) {
 			continue
 		}
@@ -142,64 +185,116 @@ func (nw *Network) HeadOrg(id radio.NodeID) {
 		if !sector.Contains(p) {
 			continue
 		}
-		nw.metrics.ReplyMessages++
-		switch {
-		case rn.Status.IsHeadRole():
-			existingHeads = append(existingHeads, rid)
-		case rn.Status == StatusBootup || rn.Status == StatusAssociate:
+		// Every sector member replies — existing heads included, though
+		// only small nodes feed HEAD_SELECT.
+		replies++
+		if rn.Status == StatusBootup || rn.Status == StatusAssociate {
 			smallNodes = append(smallNodes, rid)
 		}
 	}
+	if sk == nil {
+		nw.orgSmall, nw.orgAll = smallNodes, allSmall
+		nw.metrics.ReplyMessages += replies
+	} else {
+		sk.smallBuf, sk.allBuf = smallNodes, allSmall
+		sk.metrics.ReplyMessages += replies
+	}
 
 	// HEAD_SELECT over the neighboring ILs.
-	for _, il := range NeighborILs(cfg, h.IL, h.ParentIL, isRoot) {
-		if owner, ok := nw.ilOwner(il); ok {
+	ilDst := nw.ilBuf[:0]
+	if sk != nil {
+		ilDst = sk.ilBuf[:0]
+	}
+	for _, il := range neighborILsAppend(ilDst, cfg, h.IL, h.ParentIL, isRoot) {
+		if owner, ok := nw.ilOwnerIn(il, sk); ok {
 			// Step 2: the IL already has a head; record neighborhood.
-			nw.linkNeighbors(id, owner)
+			nw.linkNeighborsIn(id, owner, sk)
 			continue
 		}
-		if nw.ilConflicts(il) {
+		if nw.ilConflictsIn(il, sk) {
 			continue
 		}
-		ca := nw.caOf(il, smallNodes)
+		ca := nw.caOfIn(il, smallNodes, sk)
 		best, ok := BestCandidate(il, cfg.GR, ca, nw.Position)
 		if !ok {
 			// Rt-gap at this IL (or boundary): GS³-D skips the cell and
 			// re-checks later (boundary rescan).
 			continue
 		}
-		nw.promoteToHead(best, il, h, h.Hops+1)
-		nw.linkNeighbors(id, best)
+		nw.promoteToHeadIn(best, il, h, h.Hops+1, sk)
+		nw.linkNeighborsIn(id, best, sk)
 		if !containsID(h.Children, best) {
-			h.Children = append(h.Children, best)
-			nw.touch(id)
+			h.Children = nw.appendID(h.Children, best)
+			nw.touchIn(id, sk)
 		}
-		nw.scheduleHeadOrg(best, nw.orgLatency())
+		if sk == nil {
+			nw.scheduleHeadOrg(best, nw.orgLatency())
+		} else {
+			sk.children = append(sk.children, best)
+		}
 	}
 
 	// HeadSet broadcast; every small node in range re-chooses its best
 	// head (ASSOCIATE_ORG_RESP).
-	nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
-	for _, rid := range allSmall {
-		if nw.Alive(rid) && !nw.nodes[rid].Status.IsHeadRole() {
-			nw.ChooseHead(rid)
+	if sk == nil {
+		nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
+	} else {
+		sk.broadcast(id, cfg.SearchRadius()+cfg.Rt)
+	}
+	if sk != nil && sk.par > 1 && len(allSmall) >= minChooseParallel {
+		nw.chooseHeadsParallel(allSmall, sk)
+	} else {
+		for _, rid := range allSmall {
+			if nw.Alive(rid) && !nw.node(rid).Status.IsHeadRole() {
+				nw.chooseHeadIn(rid, sk)
+			}
 		}
 	}
 
 	if h.Status != StatusWork {
-		h.Status = StatusWork
-		nw.touch(id)
+		nw.setStatus(h, StatusWork) // Head→Work: no head-role flip
+		nw.touchIn(id, sk)
 	}
-	nw.scheduleOrgRetry(id, 1)
+	if sk == nil {
+		nw.scheduleOrgRetry(id, 1)
+	}
+	// Sharded mode never arms the retry timer: shardable() requires an
+	// inactive fault plan, under which scheduleOrgRetry is a no-op.
+}
+
+// touchIn routes a topology touch directly into the medium's epochs
+// (sk == nil), or into a sharded event's deferred buffer for ordered
+// application at the wave barrier.
+func (nw *Network) touchIn(id radio.NodeID, sk *orgSink) {
+	if sk == nil {
+		nw.touch(id)
+		return
+	}
+	sk.touches = append(sk.touches, id)
+}
+
+// headsAtIn is headRoleAt through an execution context: the shared
+// counted query when sk == nil, the sink's uncounted-plus-overlay query
+// otherwise.
+func (nw *Network) headsAtIn(p geom.Point, dist float64, sk *orgSink) []radio.NodeID {
+	if sk == nil {
+		return nw.headRoleAt(p, dist)
+	}
+	return sk.headsAt(p, dist)
 }
 
 // ilOwner reports whether some existing head owns the cell at il, i.e.
 // its own IL is within Rt of il. It prefers the closest owner.
 func (nw *Network) ilOwner(il geom.Point) (radio.NodeID, bool) {
+	return nw.ilOwnerIn(il, nil)
+}
+
+// ilOwnerIn is ilOwner through an execution context (see headOrg).
+func (nw *Network) ilOwnerIn(il geom.Point, sk *orgSink) (radio.NodeID, bool) {
 	best := radio.None
 	bestD := nw.cfg.Rt
-	for _, hid := range nw.headRoleAt(il, nw.cfg.Rt) {
-		hn := nw.nodes[hid]
+	for _, hid := range nw.headsAtIn(il, nw.cfg.Rt, sk) {
+		hn := nw.node(hid)
 		if d := hn.IL.Dist(il); d <= bestD {
 			best, bestD = hid, d
 		}
@@ -213,20 +308,39 @@ func (nw *Network) ilOwner(il geom.Point) (radio.NodeID, bool) {
 // off-lattice ILs always conflict with the real structure, so this
 // guard keeps state corruption from cascading through HEAD_ORG.
 func (nw *Network) ilConflicts(il geom.Point) bool {
-	return len(nw.headRoleAt(il, nw.cfg.NeighborDistMin())) > 0
+	return nw.ilConflictsIn(il, nil)
+}
+
+// ilConflictsIn is ilConflicts through an execution context.
+func (nw *Network) ilConflictsIn(il geom.Point, sk *orgSink) bool {
+	return len(nw.headsAtIn(il, nw.cfg.NeighborDistMin(), sk)) > 0
 }
 
 // caOf returns CA(il): the small nodes within Rt of il (HEAD_SELECT
 // Step 3). The result aliases the network's caBuf scratch: it is valid
 // until the next caOf call and must not be retained.
 func (nw *Network) caOf(il geom.Point, smallNodes []radio.NodeID) []radio.NodeID {
-	out := nw.caBuf[:0]
+	return nw.caOfIn(il, smallNodes, nil)
+}
+
+// caOfIn is caOf through an execution context: the filter runs into the
+// sink's candidate scratch instead of the network's when sharded.
+func (nw *Network) caOfIn(il geom.Point, smallNodes []radio.NodeID, sk *orgSink) []radio.NodeID {
+	buf := nw.caBuf
+	if sk != nil {
+		buf = sk.caBuf
+	}
+	out := buf[:0]
 	for _, id := range smallNodes {
 		if nw.Position(id).Dist(il) <= nw.cfg.Rt {
 			out = append(out, id)
 		}
 	}
-	nw.caBuf = out
+	if sk != nil {
+		sk.caBuf = out
+	} else {
+		nw.caBuf = out
+	}
 	return out
 }
 
@@ -235,8 +349,21 @@ func (nw *Network) caOf(il geom.Point, smallNodes []radio.NodeID) []radio.NodeID
 // (the SYN_CELL convention): its OIL is the unshifted lattice point, so
 // same-spiral neighbor ILs stay exactly √3·R apart even after slides.
 func (nw *Network) promoteToHead(id radio.NodeID, il geom.Point, scanner *Node, hops int) {
-	n := nw.nodes[id]
-	n.Status = StatusHead
+	nw.promoteToHeadIn(id, il, scanner, hops, nil)
+}
+
+// promoteToHeadIn is promoteToHead through an execution context. In
+// sharded mode the medium's head-index flip is deferred to the level
+// barrier — SetHeadRole mutates the shared head grid — and recorded in
+// the sink's overlay so the event's own later queries see it.
+func (nw *Network) promoteToHeadIn(id radio.NodeID, il geom.Point, scanner *Node, hops int, sk *orgSink) {
+	n := nw.node(id)
+	if sk == nil {
+		nw.setStatus(n, StatusHead)
+	} else {
+		n.Status = StatusHead // small node before: the flip is to head
+		sk.promote(id, nw.Position(id))
+	}
 	n.IL = il
 	n.OIL = il.Add(scanner.OIL.Sub(scanner.IL))
 	n.Spiral = scanner.Spiral
@@ -245,27 +372,36 @@ func (nw *Network) promoteToHead(id radio.NodeID, il geom.Point, scanner *Node, 
 	n.Hops = hops
 	n.Head = radio.None
 	n.Candidate = false
-	nw.touch(id)
-	nw.metrics.HeadsSelected++
-	nw.emit(trace.KindHeadSelected, id, scanner.ID, il)
+	nw.touchIn(id, sk)
+	if sk == nil {
+		nw.metrics.HeadsSelected++
+		nw.emit(trace.KindHeadSelected, id, scanner.ID, il)
+	} else {
+		sk.metrics.HeadsSelected++
+	}
 }
 
 // linkNeighbors records a–b as neighboring cell heads on both sides.
 func (nw *Network) linkNeighbors(a, b radio.NodeID) {
+	nw.linkNeighborsIn(a, b, nil)
+}
+
+// linkNeighborsIn is linkNeighbors through an execution context.
+func (nw *Network) linkNeighborsIn(a, b radio.NodeID, sk *orgSink) {
 	if a == b {
 		return
 	}
-	an, bn := nw.nodes[a], nw.nodes[b]
+	an, bn := nw.node(a), nw.node(b)
 	if an == nil || bn == nil {
 		return
 	}
 	if !containsID(an.Neighbors, b) {
-		an.Neighbors = append(an.Neighbors, b)
-		nw.touch(a)
+		an.Neighbors = nw.appendID(an.Neighbors, b)
+		nw.touchIn(a, sk)
 	}
 	if !containsID(bn.Neighbors, a) {
-		bn.Neighbors = append(bn.Neighbors, a)
-		nw.touch(b)
+		bn.Neighbors = nw.appendID(bn.Neighbors, a)
+		nw.touchIn(b, sk)
 	}
 }
 
@@ -275,34 +411,49 @@ func (nw *Network) linkNeighbors(a, b radio.NodeID) {
 // and become its associate. The node becomes (or stays) bootup when no
 // head is in range. Returns the chosen head or radio.None.
 func (nw *Network) ChooseHead(id radio.NodeID) radio.NodeID {
-	n := nw.nodes[id]
+	return nw.chooseHeadIn(id, nil)
+}
+
+// chooseHeadIn is ChooseHead through an execution context: the head
+// query goes through the sink (uncounted + own-promotion overlay) and
+// the topology touch is deferred when sharded. The node-state writes
+// themselves are direct — the associate being written belongs to
+// exactly one event of a wave level (events writing the same node
+// always conflict and so run on different levels, in order).
+func (nw *Network) chooseHeadIn(id radio.NodeID, sk *orgSink) radio.NodeID {
+	n := nw.node(id)
 	if n == nil || !nw.Alive(id) || n.Status.IsHeadRole() || n.IsBig {
 		return radio.None
 	}
 	p := nw.Position(id)
-	heads := nw.reachableHeadsAt(p, nw.cfg.SearchRadius())
+	var heads []radio.NodeID
+	if sk == nil {
+		heads = nw.reachableHeadsAt(p, nw.cfg.SearchRadius())
+	} else {
+		heads = sk.reachableHeadsAt(p, nw.cfg.SearchRadius())
+	}
 	best, ok := BestCandidate(p, nw.cfg.GR, heads, nw.Position)
 	if !ok {
 		if n.Status != StatusBootup || n.Head != radio.None || n.Candidate {
-			n.becomeBootup()
-			nw.touch(id)
+			nw.becomeBootup(n)
+			nw.touchIn(id, sk)
 		}
 		return radio.None
 	}
-	bn := nw.nodes[best]
+	bn := nw.node(best)
 	cand := p.Dist(bn.IL) <= nw.cfg.Rt
 	// Guarded on change: a settled associate re-choosing the same head
 	// (the steady-state outcome every sweep) stays epoch-quiet.
 	if n.Status != StatusAssociate || n.Head != best || n.Candidate != cand ||
 		(cand && (n.CellIL != bn.IL || n.CellOIL != bn.OIL || n.CellSpiral != bn.Spiral)) {
-		n.becomeAssociate(best)
+		nw.becomeAssociate(n, best)
 		n.Candidate = cand
 		if cand {
 			// Candidates replicate the cell state from the HeadSet
 			// broadcast so the cell survives its head's death.
 			n.CellIL, n.CellOIL, n.CellSpiral = bn.IL, bn.OIL, bn.Spiral
 		}
-		nw.touch(id)
+		nw.touchIn(id, sk)
 	}
 	return best
 }
@@ -315,7 +466,7 @@ func (nw *Network) ChooseHead(id radio.NodeID) radio.NodeID {
 func (nw *Network) SettleAssociates() int {
 	changed := 0
 	for _, id := range nw.SortedIDs() {
-		n := nw.nodes[id]
+		n := nw.node(id)
 		if n == nil || !nw.Alive(id) || n.Status.IsHeadRole() || n.IsBig {
 			continue
 		}

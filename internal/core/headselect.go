@@ -17,13 +17,19 @@ import (
 // GR; every other head gets the three forward directions j ∈ {−1, 0, 1}
 // (search region ⟨−60°−a, 60°+a⟩).
 func NeighborILs(cfg Config, il, parentIL geom.Point, isRoot bool) []geom.Point {
+	return neighborILsAppend(nil, cfg, il, parentIL, isRoot)
+}
+
+// neighborILsAppend is NeighborILs into a caller-provided buffer (at
+// most six entries are appended), so the configure hot path computes
+// the ILs without allocating.
+func neighborILsAppend(dst []geom.Point, cfg Config, il, parentIL geom.Point, isRoot bool) []geom.Point {
 	spacing := cfg.HeadSpacing()
 	if isRoot {
-		out := make([]geom.Point, 6)
 		for j := 0; j < 6; j++ {
-			out[j] = il.Add(geom.UnitAt(cfg.GR + float64(j)*math.Pi/3).Scale(spacing))
+			dst = append(dst, il.Add(geom.UnitAt(cfg.GR+float64(j)*math.Pi/3).Scale(spacing)))
 		}
-		return out
+		return dst
 	}
 	ref := il.Sub(parentIL)
 	if ref.Len() == 0 {
@@ -32,11 +38,10 @@ func NeighborILs(cfg Config, il, parentIL geom.Point, isRoot bool) []geom.Point 
 		ref = geom.UnitAt(cfg.GR)
 	}
 	base := ref.Angle()
-	out := make([]geom.Point, 0, 3)
-	for _, j := range []float64{-1, 0, 1} {
-		out = append(out, il.Add(geom.UnitAt(base+j*math.Pi/3).Scale(spacing)))
+	for j := -1.0; j <= 1.0; j++ {
+		dst = append(dst, il.Add(geom.UnitAt(base+j*math.Pi/3).Scale(spacing)))
 	}
-	return out
+	return dst
 }
 
 // SearchSector returns the angular search region of a head for
@@ -109,24 +114,38 @@ func RankCandidates(il geom.Point, gr float64, ids []radio.NodeID, pos func(radi
 	ref := geom.UnitAt(gr)
 	out := make([]Ranked, 0, len(ids))
 	for _, id := range ids {
-		p := pos(id)
-		v := p.Sub(il)
-		a := 0.0
-		if v.Len() > 0 {
-			a = geom.SignedAngle(ref, v)
-		}
-		out = append(out, Ranked{ID: id, D: il.Dist(p), AbsA: math.Abs(a), A: a})
+		out = append(out, rankOf(il, ref, id, pos(id)))
 	}
 	slices.SortFunc(out, rankKeyCmp)
 	return out
 }
 
+// rankOf computes one node's ⟨d, |A|, A⟩ ranking key.
+func rankOf(il geom.Point, ref geom.Vec, id radio.NodeID, p geom.Point) Ranked {
+	v := p.Sub(il)
+	a := 0.0
+	if v.Len() > 0 {
+		a = geom.SignedAngle(ref, v)
+	}
+	return Ranked{ID: id, D: il.Dist(p), AbsA: math.Abs(a), A: a}
+}
+
 // BestCandidate returns the highest-ranked node of CA(il), or
-// (radio.None, false) if ids is empty.
+// (radio.None, false) if ids is empty. The ranking key is a total order
+// (ID breaks every tie), so a single min-scan finds exactly the node a
+// full RankCandidates sort would put first — without allocating or
+// sorting, which matters because this runs inside every HEAD_SELECT,
+// ChooseHead, and candidate election.
 func BestCandidate(il geom.Point, gr float64, ids []radio.NodeID, pos func(radio.NodeID) geom.Point) (radio.NodeID, bool) {
-	ranked := RankCandidates(il, gr, ids, pos)
-	if len(ranked) == 0 {
+	if len(ids) == 0 {
 		return radio.None, false
 	}
-	return ranked[0].ID, true
+	ref := geom.UnitAt(gr)
+	best := rankOf(il, ref, ids[0], pos(ids[0]))
+	for _, id := range ids[1:] {
+		if r := rankOf(il, ref, id, pos(id)); rankKeyCmp(r, best) < 0 {
+			best = r
+		}
+	}
+	return best.ID, true
 }

@@ -277,12 +277,13 @@ func TestRemoveAddContainsID(t *testing.T) {
 	if len(ids) != 2 {
 		t.Errorf("removeID absent: %v", ids)
 	}
-	ids = addUnique(ids, 1)
+	var nw Network // zero value: arena off, plain appends
+	ids = nw.addUniqueID(ids, 1)
 	if len(ids) != 2 {
-		t.Errorf("addUnique duplicate: %v", ids)
+		t.Errorf("addUniqueID duplicate: %v", ids)
 	}
-	ids = addUnique(ids, 7)
+	ids = nw.addUniqueID(ids, 7)
 	if !containsID(ids, 7) {
-		t.Errorf("addUnique: %v", ids)
+		t.Errorf("addUniqueID: %v", ids)
 	}
 }

@@ -169,7 +169,7 @@ func (nw *Network) sweep(id radio.NodeID) {
 // still current, only the mandatory per-sweep work (counters, energy)
 // happens and the recorded accounting is replayed.
 func (nw *Network) sweepOnce(id radio.NodeID) bool {
-	n := nw.nodes[id]
+	n := nw.node(id)
 	if n == nil || n.Status == StatusDead {
 		return false
 	}
@@ -186,7 +186,7 @@ func (nw *Network) sweepOnce(id radio.NodeID) bool {
 			return true
 		}
 	}
-	n.sweep++
+	nw.coldOf(id).sweep++
 
 	nw.drainEnergy(n)
 	if n.Status == StatusDead {
@@ -218,7 +218,7 @@ func (nw *Network) sweepOnce(id radio.NodeID) bool {
 		if n.Status.IsHeadRole() { // may have retreated
 			nw.headInterCell(n)
 		}
-		if n.Status.IsHeadRole() && n.sweep%nw.cfg.SanityCheckEvery == 0 {
+		if n.Status.IsHeadRole() && nw.coldOf(id).sweep%nw.cfg.SanityCheckEvery == 0 {
 			nw.SanityCheck(id)
 		}
 	case n.Status == StatusAssociate:
@@ -243,7 +243,8 @@ func (nw *Network) quiescentSweep(n *Node) bool {
 	if n.IsBig || !nw.cacheable() {
 		return false
 	}
-	c := &n.cache
+	cd := nw.coldOf(n.ID)
+	c := nw.cacheFor(n.ID)
 	isHead := n.Status.IsHeadRole()
 	var d *sweepDelta
 	rescanDue := false
@@ -252,13 +253,13 @@ func (nw *Network) quiescentSweep(n *Node) bool {
 		// precisely a non-quiescent sweep; and only a head recorded
 		// sane may skip a SANITY_CHECK round (an insane one might have
 		// to retreat this time).
-		if n.pendingChildRepair || nw.lowEnergy(n) {
+		if cd.pendingChildRepair || nw.lowEnergy(n) {
 			return false
 		}
-		if !c.sane && n.sweep%nw.cfg.SanityCheckEvery == 0 {
+		if !c.sane && cd.sweep%nw.cfg.SanityCheckEvery == 0 {
 			return false
 		}
-		rescanDue = n.sweep%nw.cfg.BoundaryRescanEvery == 0
+		rescanDue = cd.sweep%nw.cfg.BoundaryRescanEvery == 0
 	}
 	if rescanDue {
 		d = &c.rescan
@@ -293,7 +294,7 @@ func (nw *Network) quiescentSweep(n *Node) bool {
 // moved since the sibling flavor was recorded, that sibling describes a
 // stale neighborhood and is dropped.
 func (nw *Network) recordSweep(n *Node, statsBefore radio.Stats, metricsBefore Metrics) {
-	c := &n.cache
+	c := nw.cacheFor(n.ID)
 	isHead := n.Status.IsHeadRole()
 	cone := nw.coneRadius(isHead)
 	// A sweep that reads a live node beyond the cone (possible when
@@ -368,7 +369,7 @@ func (nw *Network) beginBlackout(id radio.NodeID, dur float64) {
 // node, exactly as the paper's restarted-node rule prescribes.
 func (nw *Network) restoreFromBlackout(id radio.NodeID) {
 	nw.med.SetBlackout(id, false)
-	n := nw.nodes[id]
+	n := nw.node(id)
 	if n == nil || !nw.Alive(id) {
 		return
 	}
@@ -376,8 +377,8 @@ func (nw *Network) restoreFromBlackout(id radio.NodeID) {
 		return
 	}
 	for _, hid := range nw.headRoleAt(n.IL, nw.cfg.SearchRadius()) {
-		if hid != id && nw.nodes[hid].IL.Dist(n.IL) <= nw.cfg.Rt {
-			n.becomeBootup()
+		if hid != id && nw.node(hid).IL.Dist(n.IL) <= nw.cfg.Rt {
+			nw.becomeBootup(n)
 			nw.touch(id)
 			nw.ChooseHead(id)
 			return
@@ -395,8 +396,9 @@ func (nw *Network) drainEnergy(n *Node) {
 	if n.Status.IsHeadRole() {
 		rate *= nw.cfg.HeadEnergyFactor
 	}
-	n.Energy -= rate * nw.cfg.HeartbeatInterval
-	if n.Energy <= 0 {
+	cd := nw.coldOf(n.ID)
+	cd.Energy -= rate * nw.cfg.HeartbeatInterval
+	if cd.Energy <= 0 {
 		nw.Kill(n.ID)
 	}
 }
@@ -408,7 +410,7 @@ func (nw *Network) lowEnergy(n *Node) bool {
 		return false
 	}
 	headCost := nw.cfg.AssociateDissipation * nw.cfg.HeadEnergyFactor * nw.cfg.HeartbeatInterval
-	return n.Energy <= headCost
+	return nw.coldOf(n.ID).Energy <= headCost
 }
 
 // ---- Intra-cell maintenance (HEAD_INTRA_CELL & friends) ----
@@ -424,7 +426,7 @@ func (nw *Network) headIntraCell(h *Node) {
 	// replica that is already current is left untouched so a steady
 	// state stays epoch-quiet.
 	for _, cid := range candidates {
-		c := nw.nodes[cid]
+		c := nw.node(cid)
 		if c.Candidate && c.CellIL == h.IL && c.CellOIL == h.OIL && c.CellSpiral == h.Spiral {
 			continue
 		}
@@ -436,7 +438,7 @@ func (nw *Network) headIntraCell(h *Node) {
 	if nw.lowEnergy(h) && len(candidates) > 0 {
 		// head_retreat: the highest-ranked candidate takes over.
 		if best, ok := BestCandidate(h.IL, nw.cfg.GR, candidates, nw.Position); ok {
-			nw.transferHeadRole(h, nw.nodes[best])
+			nw.transferHeadRole(h, nw.node(best))
 			nw.metrics.HeadShifts++
 			return
 		}
@@ -455,7 +457,7 @@ func (nw *Network) headIntraCell(h *Node) {
 // relation with the neighboring cells beyond the allowed deviation, the
 // cell is abandoned.
 func (nw *Network) StrengthenCell(id radio.NodeID) {
-	h := nw.nodes[id]
+	h := nw.node(id)
 	if h == nil || !h.Status.IsHeadRole() {
 		return
 	}
@@ -492,7 +494,7 @@ func (nw *Network) StrengthenCell(id radio.NodeID) {
 		nw.touch(h.ID)
 		best, _ := BestCandidate(il, cfg.GR, ca, nw.Position)
 		if best != h.ID {
-			nw.transferHeadRole(h, nw.nodes[best])
+			nw.transferHeadRole(h, nw.node(best))
 			nw.metrics.HeadShifts++
 		}
 		return
@@ -507,7 +509,7 @@ func (nw *Network) StrengthenCell(id radio.NodeID) {
 func (nw *Network) ilDeviatesTooMuch(h *Node, il geom.Point) bool {
 	limit := 2*nw.cfg.HeadSpacing() - nw.cfg.AbandonSlack
 	for _, nid := range h.Neighbors {
-		nh := nw.nodes[nid]
+		nh := nw.node(nid)
 		if nh == nil || !nw.Alive(nid) || !nh.Status.IsHeadRole() {
 			continue
 		}
@@ -537,11 +539,11 @@ func (nw *Network) cellMembers(h *Node) []radio.NodeID {
 // a cell shift. Parent, children, and neighbor links are re-pointed.
 func (nw *Network) transferHeadRole(old, repl *Node) {
 	nw.emit(trace.KindHeadShift, old.ID, repl.ID, old.IL)
-	repl.Status = StatusHead
+	nw.setStatus(repl, StatusHead)
 	repl.IL, repl.OIL, repl.Spiral = old.IL, old.OIL, old.Spiral
 	repl.Parent, repl.ParentIL, repl.Hops = old.Parent, old.ParentIL, old.Hops
-	repl.Children = append([]radio.NodeID(nil), old.Children...)
-	repl.Neighbors = append([]radio.NodeID(nil), old.Neighbors...)
+	repl.Children = nw.cloneIDs(old.Children)
+	repl.Neighbors = nw.cloneIDs(old.Neighbors)
 	repl.Head = radio.None
 	repl.Candidate = false
 	repl.Children = removeID(repl.Children, repl.ID)
@@ -554,48 +556,48 @@ func (nw *Network) transferHeadRole(old, repl *Node) {
 	if old.IsBig {
 		// BIG_SLIDE: the big node cedes headship but stays special; it
 		// reclaims the role when the cell's IL returns to it.
-		old.Status = StatusBigSlide
+		nw.setStatus(old, StatusBigSlide)
 		old.Head = repl.ID
-		old.resetHeadState()
+		nw.resetHeadState(old)
 	} else {
-		old.becomeAssociate(repl.ID)
+		nw.becomeAssociate(old, repl.ID)
 		old.Candidate = nw.Position(old.ID).Dist(repl.IL) <= nw.cfg.Rt
 	}
-	repl.Status = StatusWork
+	nw.setStatus(repl, StatusWork)
 }
 
 // repointLinks rewrites parent/children/neighbor references from old to
 // repl on the surrounding heads and re-homes the old head's associates.
 func (nw *Network) repointLinks(old, repl radio.NodeID) {
 	for _, id := range nw.SortedIDs() {
-		n := nw.nodes[id]
+		n := nw.node(id)
 		if n == nil || id == old || id == repl {
 			continue
 		}
 		changed := false
 		if n.Parent == old {
 			n.Parent = repl
-			if rn := nw.nodes[repl]; rn != nil {
+			if rn := nw.node(repl); rn != nil {
 				n.ParentIL = rn.IL
 			}
 			changed = true
 		}
 		if containsID(n.Children, old) {
 			n.removeChild(old)
-			n.Children = addUnique(n.Children, repl)
+			n.Children = nw.addUniqueID(n.Children, repl)
 			changed = true
 		}
 		if containsID(n.Neighbors, old) {
 			n.removeNeighbor(old)
-			n.Neighbors = addUnique(n.Neighbors, repl)
+			n.Neighbors = nw.addUniqueID(n.Neighbors, repl)
 			changed = true
 		}
 		if n.Status == StatusAssociate && n.Head == old {
 			n.Head = repl
 			changed = true
 		}
-		if n.Proxy == old {
-			n.Proxy = repl
+		if cd := nw.coldOf(id); cd.Proxy == old {
+			cd.Proxy = repl
 			changed = true
 		}
 		if changed {
@@ -608,23 +610,23 @@ func (nw *Network) repointLinks(old, repl radio.NodeID) {
 // (including the head) transits to bootup and re-joins a neighboring
 // cell on its next sweep.
 func (nw *Network) AbandonCell(id radio.NodeID) {
-	h := nw.nodes[id]
+	h := nw.node(id)
 	if h == nil || !h.Status.IsHeadRole() {
 		return
 	}
 	nw.metrics.Abandonments++
 	nw.emit(trace.KindAbandon, id, radio.None, h.IL)
 	for _, aid := range nw.Associates(id) {
-		nw.nodes[aid].becomeBootup()
+		nw.becomeBootup(nw.node(aid))
 		nw.touch(aid)
 	}
 	if h.IsBig {
-		h.Status = StatusBigSlide
-		h.resetHeadState()
+		nw.setStatus(h, StatusBigSlide)
+		nw.resetHeadState(h)
 		nw.touch(id)
 		return
 	}
-	h.becomeBootup()
+	nw.becomeBootup(h)
 	nw.touch(id)
 }
 
@@ -633,7 +635,7 @@ func (nw *Network) AbandonCell(id radio.NodeID) {
 // head failure and heal it by head shift (candidates) or by re-joining
 // (non-candidates); otherwise keep the best head.
 func (nw *Network) associateIntraCell(n *Node) {
-	head := nw.nodes[n.Head]
+	head := nw.node(n.Head)
 	headOK := head != nil && nw.Alive(n.Head) && (head.Status.IsHeadRole() || head.IsBig) &&
 		!nw.med.InBlackout(n.Head) &&
 		nw.med.Dist(n.ID, n.Head) <= nw.cfg.SearchRadius()
@@ -662,7 +664,7 @@ func (nw *Network) associateIntraCell(n *Node) {
 		nw.electFromCandidates(n)
 		return
 	}
-	n.becomeBootup()
+	nw.becomeBootup(n)
 	nw.touch(n.ID)
 	nw.ChooseHead(n.ID)
 }
@@ -680,13 +682,13 @@ func (nw *Network) electFromCandidates(detector *Node) {
 	})
 	best, ok := BestCandidate(il, nw.cfg.GR, candidates, nw.Position)
 	if !ok {
-		detector.becomeBootup()
+		nw.becomeBootup(detector)
 		nw.touch(detector.ID)
 		nw.ChooseHead(detector.ID)
 		return
 	}
-	repl := nw.nodes[best]
-	repl.Status = StatusWork
+	repl := nw.node(best)
+	nw.setStatus(repl, StatusWork)
 	repl.IL, repl.OIL, repl.Spiral = detector.CellIL, detector.CellOIL, detector.CellSpiral
 	repl.Parent = radio.None // re-acquired by inter-cell maintenance
 	repl.Hops = unknownHops
@@ -709,7 +711,7 @@ func (nw *Network) electFromCandidates(detector *Node) {
 		repl.Neighbors = repl.Neighbors[:0]
 		for _, nid := range nw.reachableHeadsAt(pos, nw.cfg.SearchRadius()) {
 			if nid != best {
-				repl.Neighbors = append(repl.Neighbors, nid)
+				repl.Neighbors = nw.appendID(repl.Neighbors, nid)
 			}
 		}
 		nw.ParentSeek(best)
@@ -751,7 +753,7 @@ func (nw *Network) headInterCell(h *Node) {
 		h.Neighbors = h.Neighbors[:0]
 		for _, id := range neighbors {
 			if id != h.ID {
-				h.Neighbors = append(h.Neighbors, id)
+				h.Neighbors = nw.appendID(h.Neighbors, id)
 			}
 		}
 		nw.touch(h.ID)
@@ -763,7 +765,7 @@ func (nw *Network) headInterCell(h *Node) {
 	lostChild := false
 	for i := len(h.Children) - 1; i >= 0; i-- {
 		c := h.Children[i]
-		cn := nw.nodes[c]
+		cn := nw.node(c)
 		if cn == nil || !nw.Alive(c) || !cn.Status.IsHeadRole() {
 			h.removeChild(c)
 			lostChild = true
@@ -779,10 +781,11 @@ func (nw *Network) headInterCell(h *Node) {
 	// intra-cell maintenance (head shift) before the parent repairs it
 	// with HEAD_ORG — the paper's priority order. The periodic boundary
 	// rescan runs unconditionally.
-	repairDue := h.pendingChildRepair
-	h.pendingChildRepair = lostChild
-	if repairDue || h.sweep%cfg.BoundaryRescanEvery == 0 {
-		h.pendingChildRepair = false
+	hc := nw.coldOf(h.ID)
+	repairDue := hc.pendingChildRepair
+	hc.pendingChildRepair = lostChild
+	if repairDue || hc.sweep%cfg.BoundaryRescanEvery == 0 {
+		hc.pendingChildRepair = false
 		nw.RescanAround(h.ID)
 	}
 }
@@ -792,7 +795,7 @@ func (nw *Network) headInterCell(h *Node) {
 // that realizes fixpoint F₁.₂. The big node and the current proxy are
 // the distance-0 roots.
 func (nw *Network) ParentSeek(id radio.NodeID) {
-	h := nw.nodes[id]
+	h := nw.node(id)
 	if h == nil || !h.Status.IsHeadRole() {
 		return
 	}
@@ -811,7 +814,7 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	bestHops := unknownHops
 	bestDist := math.Inf(1)
 	for _, nid := range h.Neighbors {
-		nh := nw.nodes[nid]
+		nh := nw.node(nid)
 		if nh == nil || !nw.Reachable(nid) || !nh.Status.IsHeadRole() {
 			continue
 		}
@@ -833,7 +836,7 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	// big node than the current parent. A live current parent at the
 	// same hop distance is kept — this stickiness is what contains the
 	// impact of a big-node move to the √3·d/2 region of Theorem 11.
-	if cp := nw.nodes[h.Parent]; h.Parent != radio.None && cp != nil &&
+	if cp := nw.node(h.Parent); h.Parent != radio.None && cp != nil &&
 		nw.Reachable(h.Parent) && cp.Status.IsHeadRole() &&
 		containsID(h.Neighbors, h.Parent) && cp.Hops <= bestHops {
 		if h.ParentIL != cp.IL || h.Hops != cp.Hops+1 {
@@ -845,15 +848,15 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	}
 	old := h.Parent
 	h.Parent = bestParent
-	h.ParentIL = nw.nodes[bestParent].IL
+	h.ParentIL = nw.node(bestParent).IL
 	h.Hops = bestHops + 1
 	nw.touch(id)
 	if old != bestParent {
-		if on := nw.nodes[old]; on != nil {
+		if on := nw.node(old); on != nil {
 			on.removeChild(id)
 			nw.touch(old)
 		}
-		nw.nodes[bestParent].Children = addUnique(nw.nodes[bestParent].Children, id)
+		nw.node(bestParent).Children = nw.addUniqueID(nw.node(bestParent).Children, id)
 		nw.touch(bestParent)
 		nw.emit(trace.KindParentChange, id, bestParent, h.IL)
 	}
@@ -868,11 +871,11 @@ func (nw *Network) isRootHead(h *Node) bool {
 	if h.IsBig {
 		return true
 	}
-	big := nw.nodes[nw.bigID]
+	big := nw.node(nw.bigID)
 	if big == nil {
 		return false
 	}
-	if big.Status == StatusBigMove && big.Proxy == h.ID {
+	if big.Status == StatusBigMove && nw.coldOf(nw.bigID).Proxy == h.ID {
 		return true
 	}
 	if big.Status == StatusBigSlide && big.Head == h.ID {
@@ -886,7 +889,7 @@ func (nw *Network) isRootHead(h *Node) bool {
 // HEAD_INTER_CELL. Unowned ILs with a non-empty candidate area get a
 // head; newly appeared bootup nodes in range re-choose heads.
 func (nw *Network) RescanAround(id radio.NodeID) {
-	h := nw.nodes[id]
+	h := nw.node(id)
 	if h == nil || !nw.Alive(id) || !h.Status.IsHeadRole() {
 		return
 	}
@@ -900,7 +903,7 @@ func (nw *Network) RescanAround(id radio.NodeID) {
 	smallNodes := nw.smallBuf[:0]
 	nw.smallBuf = nil
 	for _, rid := range receivers {
-		rn := nw.nodes[rid]
+		rn := nw.node(rid)
 		if rn == nil || !nw.Alive(rid) {
 			continue
 		}
@@ -926,7 +929,7 @@ func (nw *Network) RescanAround(id radio.NodeID) {
 		nw.promoteToHead(best, il, h, h.Hops+1)
 		nw.linkNeighbors(id, best)
 		if !containsID(h.Children, best) {
-			h.Children = append(h.Children, best)
+			h.Children = nw.appendID(h.Children, best)
 			nw.touch(id)
 		}
 		nw.scheduleHeadOrg(best, nw.orgLatency())
@@ -934,7 +937,7 @@ func (nw *Network) RescanAround(id radio.NodeID) {
 
 	nw.med.Broadcast(id, cfg.SearchRadius()+cfg.Rt)
 	for _, rid := range smallNodes {
-		if nw.Alive(rid) && !nw.nodes[rid].Status.IsHeadRole() {
+		if nw.Alive(rid) && !nw.node(rid).Status.IsHeadRole() {
 			nw.ChooseHead(rid)
 		}
 	}
@@ -974,7 +977,7 @@ func (nw *Network) sixILs(h *Node) []geom.Point {
 // corrupted regions are peeled from their boundary inward, giving the
 // O(D_c) stabilization of Theorem 7.
 func (nw *Network) SanityCheck(id radio.NodeID) bool {
-	h := nw.nodes[id]
+	h := nw.node(id)
 	if h == nil || !nw.Alive(id) || !h.Status.IsHeadRole() {
 		return true
 	}
@@ -991,7 +994,7 @@ func (nw *Network) SanityCheck(id radio.NodeID) bool {
 	// sanity_check_req: retreat only if every neighbor attests a fully
 	// valid state; otherwise wait and re-check next period.
 	for _, nid := range h.Neighbors {
-		nh := nw.nodes[nid]
+		nh := nw.node(nid)
 		// A blacked-out neighbor cannot answer the attestation request;
 		// it simply does not vote, like a dead one.
 		if nh == nil || !nw.Reachable(nid) || !nh.Status.IsHeadRole() {
@@ -1014,10 +1017,10 @@ func (nw *Network) sanityRetreat(h *Node) {
 	nw.emit(trace.KindSanityRetreat, h.ID, radio.None, h.IL)
 	id := h.ID
 	for _, aid := range nw.Associates(id) {
-		nw.nodes[aid].becomeBootup()
+		nw.becomeBootup(nw.node(aid))
 		nw.touch(aid)
 	}
-	h.becomeBootup()
+	nw.becomeBootup(h)
 	nw.touch(id)
 	nw.ChooseHead(id)
 }
@@ -1046,7 +1049,7 @@ func (nw *Network) headRelationalValid(h *Node) bool {
 	if nw.isRootHead(h) {
 		return true
 	}
-	p := nw.nodes[h.Parent]
+	p := nw.node(h.Parent)
 	if p == nil || !nw.Alive(h.Parent) || !p.Status.IsHeadRole() {
 		return true
 	}

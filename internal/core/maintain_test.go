@@ -381,7 +381,7 @@ func TestEnergyDrainKillsAndStructureSurvives(t *testing.T) {
 	nw.cfg.AssociateDissipation = 1
 	nw.cfg.HeadEnergyFactor = 5
 	for _, id := range nw.SortedIDs() {
-		nw.Node(id).Energy = 60
+		nw.SetEnergy(id, 60)
 	}
 	headCount := len(nw.Snapshot().Heads())
 	nw.StartMaintenance(VariantD)

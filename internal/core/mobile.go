@@ -25,7 +25,7 @@ func (nw *Network) sweepBig(b *Node) {
 	case StatusBootup:
 		// A freshly perturbed big node re-enters through the same path
 		// as BIG_MOVE: adopt a proxy, then reclaim a cell.
-		b.Status = StatusBigMove
+		nw.setStatus(b, StatusBigMove)
 		nw.touch(b.ID)
 		nw.bigMove(b)
 	}
@@ -39,14 +39,14 @@ func (nw *Network) bigAsHead(b *Node) {
 		// or the cell shifted under it).
 		candidates := nw.Candidates(b.ID)
 		if best, ok := BestCandidate(b.IL, nw.cfg.GR, candidates, nw.Position); ok {
-			nw.transferHeadRole(b, nw.nodes[best])
+			nw.transferHeadRole(b, nw.node(best))
 			nw.metrics.HeadShifts++
 		} else {
 			// Nobody can take the cell over; abandon it.
 			nw.AbandonCell(b.ID)
 		}
 		if nw.variant == VariantM {
-			b.Status = StatusBigMove
+			nw.setStatus(b, StatusBigMove)
 			nw.touch(b.ID)
 			nw.adoptProxy(b)
 		}
@@ -65,7 +65,7 @@ func (nw *Network) bigAsHead(b *Node) {
 func (nw *Network) bigSlide(b *Node) {
 	if nw.variant == VariantM {
 		// In mobile networks the big node handles this state as a move.
-		b.Status = StatusBigMove
+		nw.setStatus(b, StatusBigMove)
 		nw.touch(b.ID)
 		nw.bigMove(b)
 		return
@@ -88,7 +88,7 @@ func (nw *Network) bigMove(b *Node) {
 func (nw *Network) reclaimIfPossible(b *Node) bool {
 	pos := nw.Position(b.ID)
 	for _, hid := range nw.headRoleAt(pos, nw.cfg.SearchRadius()) {
-		h := nw.nodes[hid]
+		h := nw.node(hid)
 		if h.IsBig {
 			continue
 		}
@@ -111,15 +111,15 @@ func (nw *Network) adoptProxy(b *Node) {
 	best := radio.None
 	bestD := math.Inf(1)
 	for _, hid := range nw.headRoleAt(pos, nw.cfg.SearchRadius()) {
-		if nw.nodes[hid].IsBig {
+		if nw.node(hid).IsBig {
 			continue
 		}
 		if d := nw.med.Dist(b.ID, hid); d < bestD {
 			best, bestD = hid, d
 		}
 	}
-	if best != radio.None && best != b.Proxy {
-		b.Proxy = best
+	if bc := nw.coldOf(b.ID); best != radio.None && best != bc.Proxy {
+		bc.Proxy = best
 		nw.touch(b.ID)
 		nw.emit(trace.KindProxyChange, b.ID, best, pos)
 	}
@@ -128,8 +128,8 @@ func (nw *Network) adoptProxy(b *Node) {
 // clearProxy drops the proxy relationship when the big node resumes a
 // head role.
 func (nw *Network) clearProxy(b *Node) {
-	if b.Proxy != radio.None {
-		b.Proxy = radio.None
+	if bc := nw.coldOf(b.ID); bc.Proxy != radio.None {
+		bc.Proxy = radio.None
 		nw.touch(b.ID)
 	}
 }

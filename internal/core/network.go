@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 
 	"gs3/internal/trace"
 
@@ -32,12 +31,23 @@ type Metrics struct {
 // and all node state. All protocol actions are methods on Network and
 // execute atomically with respect to one another.
 type Network struct {
-	cfg    Config
-	med    *radio.Medium
-	eng    *sim.Engine
-	src    *rng.Source
-	nodes  map[radio.NodeID]*Node
-	nextID radio.NodeID
+	cfg Config
+	med *radio.Medium
+	eng *sim.Engine
+	src *rng.Source
+
+	// The struct-of-arrays node store (see store.go): hot protocol
+	// state inline in nodes, cold per-node state in the parallel cold
+	// slice, lazily allocated sweep caches in caches, and the chunk
+	// arena feeding Children/Neighbors lists. arenaOn gates the arena's
+	// free list: the parallel configure executor turns it off while
+	// worker goroutines run, because get/put mutate shared slabs.
+	nodes   []Node
+	cold    []nodeCold
+	caches  []sweepCache
+	arena   idArena
+	arenaOn bool
+	nextID  radio.NodeID
 
 	metrics Metrics
 
@@ -70,6 +80,13 @@ type Network struct {
 	// whole rescan, so they are separate from the query scratches above.
 	smallBuf []radio.NodeID
 	ilBuf    [6]geom.Point
+
+	// orgSmall and orgAll are HEAD_ORG's receiver-partition scratch
+	// (small nodes eligible for promotion; all small receivers). They
+	// live across the whole HEAD_ORG — including its nested queries and
+	// ChooseHead calls — so they are separate from the buffers above.
+	orgSmall []radio.NodeID
+	orgAll   []radio.NodeID
 
 	// faults, when set, injects radio unreliability and node blackouts
 	// (see internal/fault); nil runs the reliable model unchanged.
@@ -139,7 +156,7 @@ func NewNetwork(cfg Config, radioParams radio.Params, src *rng.Source) (*Network
 		med:     med,
 		eng:     sim.NewEngine(),
 		src:     src,
-		nodes:   make(map[radio.NodeID]*Node),
+		arenaOn: true,
 		bigID:   radio.None,
 		cacheOn: true,
 		lossy:   radioParams.BroadcastLoss > 0,
@@ -149,15 +166,25 @@ func NewNetwork(cfg Config, radioParams radio.Params, src *rng.Source) (*Network
 
 // AddNode places a new node at p and returns its ID. The first big node
 // becomes the network's big node; adding a second big node is an error.
+// Growing the store may relocate it: any *Node held across an AddNode
+// is invalid (see store.go).
 func (nw *Network) AddNode(p geom.Point, big bool) (radio.NodeID, error) {
 	if big && nw.bigID != radio.None {
 		return radio.None, fmt.Errorf("core: network already has big node %d", nw.bigID)
 	}
 	id := nw.nextID
 	nw.nextID++
-	n := NewNode(id, big, nw.cfg.InitialEnergy)
-	nw.nodes[id] = n
-	nw.sortedIDs = nil // invalidate the SortedIDs cache
+	nw.nodes = append(nw.nodes, Node{
+		ID:     id,
+		IsBig:  big,
+		Status: StatusBootup,
+		Parent: radio.None,
+		Head:   radio.None,
+	})
+	nw.cold = append(nw.cold, nodeCold{
+		Proxy:  radio.None,
+		Energy: nw.cfg.InitialEnergy,
+	})
 	nw.med.Place(id, p)
 	if big {
 		nw.bigID = id
@@ -283,24 +310,51 @@ func (nw *Network) BigID() radio.NodeID { return nw.bigID }
 // slide when neither is a head. It is the live-network analogue of the
 // snapshot-based root lookup in internal/gather.
 func (nw *Network) RootHead() radio.NodeID {
-	big := nw.nodes[nw.bigID]
+	big := nw.node(nw.bigID)
 	if big == nil {
 		return radio.None
 	}
 	if big.Status.IsHeadRole() {
 		return nw.bigID
 	}
-	if big.Proxy != radio.None {
-		if pn := nw.nodes[big.Proxy]; pn != nil && pn.Status.IsHeadRole() {
-			return big.Proxy
+	if proxy := nw.coldOf(nw.bigID).Proxy; proxy != radio.None {
+		if pn := nw.node(proxy); pn != nil && pn.Status.IsHeadRole() {
+			return proxy
 		}
 	}
 	return radio.None
 }
 
-// Node returns the node with the given ID, or nil.
+// Node returns the node with the given ID, or nil. The pointer is into
+// the dense store: it is invalidated by the next AddNode/Join.
 func (nw *Network) Node(id radio.NodeID) *Node {
-	return nw.nodes[id]
+	return nw.node(id)
+}
+
+// Proxy returns the big-node mobility proxy recorded for id (GS³-M),
+// or radio.None.
+func (nw *Network) Proxy(id radio.NodeID) radio.NodeID {
+	if nw.node(id) == nil {
+		return radio.None
+	}
+	return nw.coldOf(id).Proxy
+}
+
+// Energy returns the remaining energy recorded for id (0 for unknown
+// IDs).
+func (nw *Network) Energy(id radio.NodeID) float64 {
+	if nw.node(id) == nil {
+		return 0
+	}
+	return nw.coldOf(id).Energy
+}
+
+// SetEnergy overwrites the remaining energy recorded for id (test and
+// scenario setup hook; the protocol itself only drains).
+func (nw *Network) SetEnergy(id radio.NodeID, e float64) {
+	if nw.node(id) != nil {
+		nw.coldOf(id).Energy = e
+	}
 }
 
 // Position returns a node's current position. It returns the zero point
@@ -312,21 +366,24 @@ func (nw *Network) Position(id radio.NodeID) geom.Point {
 
 // Alive reports whether the node exists and is on the medium.
 func (nw *Network) Alive(id radio.NodeID) bool {
-	n := nw.nodes[id]
+	n := nw.node(id)
 	return n != nil && n.Status != StatusDead && nw.med.Alive(id)
 }
 
 // SortedIDs returns all node IDs (including dead ones) in ascending
-// order; deterministic iteration order for sweeps and snapshots. The
-// returned slice is a cache owned by the network: callers must not
-// modify it, and it is valid until the next AddNode/Join.
+// order; deterministic iteration order for sweeps and snapshots. IDs
+// are dense, so this is simply 0..N-1. The returned slice is a cache
+// owned by the network: callers must not modify it, and it is valid
+// until the next AddNode/Join.
 func (nw *Network) SortedIDs() []radio.NodeID {
-	if nw.sortedIDs == nil {
-		ids := make([]radio.NodeID, 0, len(nw.nodes))
-		for id := range nw.nodes {
-			ids = append(ids, id)
+	if len(nw.sortedIDs) != len(nw.nodes) {
+		ids := nw.sortedIDs[:0]
+		if cap(ids) < len(nw.nodes) {
+			ids = make([]radio.NodeID, 0, len(nw.nodes))
 		}
-		slices.Sort(ids)
+		for id := range len(nw.nodes) {
+			ids = append(ids, radio.NodeID(id))
+		}
 		nw.sortedIDs = ids
 	}
 	return nw.sortedIDs
@@ -342,37 +399,45 @@ func (nw *Network) filterQuery(p geom.Point, dist float64, exclude radio.NodeID,
 	nw.queryBuf = nw.med.WithinRangeAppend(nw.queryBuf[:0], p, dist, exclude)
 	out := nw.queryBuf[:0]
 	for _, id := range nw.queryBuf {
-		if n := nw.nodes[id]; n != nil && keep(n) {
+		if n := nw.node(id); n != nil && keep(n) {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// headRoleAt returns the alive head-role nodes within dist of p.
-// The result aliases the network's scratch buffer (see filterQuery).
+// headRoleAt returns the alive head-role nodes within dist of p,
+// served by the medium's head index (setStatus keeps it exactly in
+// sync with Status.IsHeadRole, and death removes nodes from the
+// medium), so the cost scales with the number of heads near p rather
+// than the number of nodes. The result aliases the network's scratch
+// buffer: valid until the next filterQuery-backed or head query.
 func (nw *Network) headRoleAt(p geom.Point, dist float64) []radio.NodeID {
-	return nw.filterQuery(p, dist, radio.None, func(n *Node) bool {
-		return n.Status.IsHeadRole()
-	})
+	nw.queryBuf = nw.med.HeadsWithinRangeAppend(nw.queryBuf[:0], p, dist, radio.None)
+	return nw.queryBuf
 }
 
 // reachableHeadsAt returns the alive head-role nodes within dist of p
 // that a small node could actually hear — blacked-out heads are
 // excluded. Structure-consistency queries (ilOwner, ilConflicts) keep
 // using headRoleAt so a transiently crashed head still owns its cell.
-// The result aliases the network's scratch buffer (see filterQuery).
+// The result aliases the network's scratch buffer (see headRoleAt).
 func (nw *Network) reachableHeadsAt(p geom.Point, dist float64) []radio.NodeID {
-	return nw.filterQuery(p, dist, radio.None, func(n *Node) bool {
-		return n.Status.IsHeadRole() && !nw.med.InBlackout(n.ID)
-	})
+	nw.queryBuf = nw.med.HeadsWithinRangeAppend(nw.queryBuf[:0], p, dist, radio.None)
+	out := nw.queryBuf[:0]
+	for _, id := range nw.queryBuf {
+		if !nw.med.InBlackout(id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Associates returns the alive associates of head h (nodes whose Head
 // field names h), found by a local range query around h's cell.
 // The result aliases the network's scratch buffer (see filterQuery).
 func (nw *Network) Associates(h radio.NodeID) []radio.NodeID {
-	hn := nw.nodes[h]
+	hn := nw.node(h)
 	if hn == nil {
 		return nil
 	}
@@ -387,7 +452,7 @@ func (nw *Network) Associates(h radio.NodeID) []radio.NodeID {
 // excluded: they can neither refresh their replica nor take the role.
 // The result aliases the network's scratch buffer (see filterQuery).
 func (nw *Network) Candidates(h radio.NodeID) []radio.NodeID {
-	hn := nw.nodes[h]
+	hn := nw.node(h)
 	if hn == nil {
 		return nil
 	}
@@ -399,15 +464,14 @@ func (nw *Network) Candidates(h radio.NodeID) []radio.NodeID {
 // Kill removes a node from the network abruptly (fail-stop / death).
 // Healing is left to the maintenance actions of the surviving nodes.
 func (nw *Network) Kill(id radio.NodeID) {
-	n := nw.nodes[id]
+	n := nw.node(id)
 	if n == nil || n.Status == StatusDead {
 		return
 	}
+	// Dead nodes stay listed by SortedIDs (the store keeps their slot),
+	// and the medium removal below clears the head-role index entry, so
+	// a plain status write suffices here.
 	n.Status = StatusDead
-	// Dead nodes stay listed by SortedIDs (the nodes map keeps them),
-	// so the cache stays correct across Kill; it is dropped anyway so
-	// the lifetime contract is simply "valid until the network changes".
-	nw.sortedIDs = nil
 	nw.emit(trace.KindDeath, id, radio.None, nw.Position(id))
 	nw.med.Remove(id)
 }

@@ -44,9 +44,17 @@ func (s Status) IsHeadRole() bool {
 	return s == StatusHead || s == StatusWork
 }
 
-// Node is the per-node protocol state. GS³'s scalability claim is that
-// this state references only a constant number of other nodes: one head
-// for associates, and parent + ≤6 neighbors + ≤5 children for heads.
+// Node is the per-node protocol state the configure and sweep paths
+// read on every action — the hot half of the store. GS³'s scalability
+// claim is that this state references only a constant number of other
+// nodes: one head for associates, and parent + ≤6 neighbors + ≤5
+// children for heads.
+//
+// Nodes live inline in the network's dense slice (see store.go), not
+// behind individual heap pointers: a *Node is a pointer into that
+// slice, invalidated by the next AddNode/Join. Cold per-node state —
+// energy, mobility proxy, sweep counters, caches — lives in parallel
+// arrays keyed by the same dense ID (nodeCold, sweepCache).
 type Node struct {
 	ID    radio.NodeID
 	IsBig bool
@@ -71,23 +79,6 @@ type Node struct {
 	CellIL     geom.Point
 	CellOIL    geom.Point
 	CellSpiral hexlat.SpiralIndex
-
-	// Big-node mobility state (GS³-M).
-	Proxy radio.NodeID
-
-	// Energy model.
-	Energy float64
-
-	// sweep counts maintenance rounds, for low-frequency sub-actions.
-	sweep int
-	// pendingChildRepair delays parent-side repair of a lost child by
-	// one heartbeat, giving the cell's own head shift priority.
-	pendingChildRepair bool
-	// cache is the node's quiescent-sweep cache (see maintain.go): the
-	// recorded outcome of a sweep that changed nothing, stamped with
-	// the topology epoch of the node's query cone so later sweeps can
-	// skip re-deriving it while the stamp is provably current.
-	cache sweepCache
 }
 
 // sweepDelta is the externally observable accounting of one recorded
@@ -118,44 +109,6 @@ type sweepCache struct {
 	regionStamp uint64
 }
 
-// NewNode returns a node in bootup status.
-func NewNode(id radio.NodeID, big bool, energy float64) *Node {
-	return &Node{
-		ID:     id,
-		IsBig:  big,
-		Status: StatusBootup,
-		Parent: radio.None,
-		Head:   radio.None,
-		Proxy:  radio.None,
-		Energy: energy,
-	}
-}
-
-// resetHeadState clears head-role fields when a node leaves the head
-// role.
-func (n *Node) resetHeadState() {
-	n.Children = nil
-	n.Neighbors = nil
-	n.Parent = radio.None
-	n.Hops = 0
-}
-
-// becomeAssociate transitions the node to associate of head h.
-func (n *Node) becomeAssociate(h radio.NodeID) {
-	n.Status = StatusAssociate
-	n.Head = h
-	n.Candidate = false
-	n.resetHeadState()
-}
-
-// becomeBootup clears all relationships.
-func (n *Node) becomeBootup() {
-	n.Status = StatusBootup
-	n.Head = radio.None
-	n.Candidate = false
-	n.resetHeadState()
-}
-
 // removeChild deletes id from the children list.
 func (n *Node) removeChild(id radio.NodeID) {
 	n.Children = removeID(n.Children, id)
@@ -182,12 +135,4 @@ func containsID(ids []radio.NodeID, id radio.NodeID) bool {
 		}
 	}
 	return false
-}
-
-// addUnique appends id if absent.
-func addUnique(ids []radio.NodeID, id radio.NodeID) []radio.NodeID {
-	if containsID(ids, id) {
-		return ids
-	}
-	return append(ids, id)
 }

@@ -48,11 +48,11 @@ func TestQuiescentSweepZeroAllocs(t *testing.T) {
 
 	var headID, assocID radio.NodeID = radio.None, radio.None
 	for _, id := range nw.SortedIDs() {
-		n := nw.nodes[id]
+		n := nw.node(id)
 		if n == nil || n.IsBig || n.Status == StatusDead {
 			continue
 		}
-		c := &n.cache
+		c := nw.cacheFor(id)
 		if n.Status.IsHeadRole() && c.plain.valid && c.rescan.valid && c.sane {
 			if headID == radio.None {
 				headID = id
@@ -95,8 +95,8 @@ func TestQuiescentSweepReplaysAccounting(t *testing.T) {
 
 	var n *Node
 	for _, id := range nw.SortedIDs() {
-		cand := nw.nodes[id]
-		if cand != nil && !cand.IsBig && cand.Status == StatusAssociate && cand.cache.plain.valid {
+		cand := nw.node(id)
+		if cand != nil && !cand.IsBig && cand.Status == StatusAssociate && nw.cacheFor(id).plain.valid {
 			n = cand
 			break
 		}
@@ -104,7 +104,7 @@ func TestQuiescentSweepReplaysAccounting(t *testing.T) {
 	if n == nil {
 		t.Fatal("no cached associate after settling")
 	}
-	want := n.cache.plain
+	want := nw.cacheFor(n.ID).plain
 	statsBefore := nw.med.Stats()
 	metricsBefore := nw.metrics
 	if !nw.quiescentSweep(n) {

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"slices"
+	"sync"
+
+	"gs3/internal/geom"
+	"gs3/internal/radio"
+)
+
+// This file implements the sharded configure executor: the classic
+// GS³-S diffusing computation run wave-parallel across worker
+// goroutines, byte-identical to the serial path for any worker count.
+//
+// The serial configure is perfectly round-synchronous on a reliable
+// radio: the root's HEAD_ORG fires at t=0 and every head promoted in
+// wave k fires its HEAD_ORG at (k+1)·L, where L is the org round
+// latency. Within a wave the engine executes events in scheduling
+// (seq) order. The executor reproduces exactly that order where it
+// matters: two HEAD_ORGs of one wave are ordered only if their
+// read/write regions can overlap — they are "in conflict" — and the
+// conflict radius is bounded geometrically (see conflictDist). The
+// wave is therefore partitioned into levels by a greedy seq-ordered
+// graph coloring: an event's level is one past the highest level among
+// earlier-seq events it conflicts with. Conflicting events land on
+// different levels in seq order; events sharing a level are mutually
+// non-conflicting and run concurrently, each against a private orgSink
+// that buffers every effect on shared state. Barriers between levels
+// apply the deferred medium head-index flips, and a final per-wave
+// merge applies topology touches, stats, and metrics in seq order — so
+// epoch counters, stats, and metrics advance exactly as the serial
+// schedule would have advanced them.
+
+// orgSink is the per-event execution context of a sharded HEAD_ORG: a
+// private substitute for the network's scratch buffers, plus deferred
+// buffers for every effect the event would have had on shared state.
+// Sinks are pooled across waves (reset) so steady-state waves allocate
+// only on buffer growth.
+type orgSink struct {
+	nw *Network
+
+	// par is this event's intra-event parallelism budget: how many
+	// goroutines the ASSOCIATE_ORG_RESP loop may fan across (set per
+	// level by ConfigureSharded; 1 = serial loop). subs is the pool of
+	// per-chunk sub-sinks the fan-out borrows.
+	par  int
+	subs []*orgSink
+
+	// promoted is the overlay of this event's own head promotions:
+	// SetHeadRole is deferred to the level barrier, so the event's own
+	// head queries merge these in to see exactly what the serial
+	// execution would have seen. Cross-event invisibility is sound
+	// because same-level events are farther apart than any query
+	// reaches (the conflict radius).
+	promoted []promotedHead
+
+	// Deferred effects, applied in event-seq order at the wave merge.
+	touches  []radio.NodeID // touch calls, in occurrence order
+	children []radio.NodeID // heads to schedule for the next wave
+	stats    radio.Stats    // broadcast/query accounting delta
+	metrics  Metrics        // protocol counter delta
+
+	// Private scratch mirroring the network's HEAD_ORG buffers.
+	queryBuf []radio.NodeID
+	caBuf    []radio.NodeID
+	recvBuf  []radio.NodeID
+	smallBuf []radio.NodeID
+	allBuf   []radio.NodeID
+	ilBuf    [6]geom.Point
+}
+
+// promotedHead is one overlay entry: a node this event promoted, with
+// its position for range filtering.
+type promotedHead struct {
+	id  radio.NodeID
+	pos geom.Point
+}
+
+// reset clears the sink for reuse, keeping buffer capacity.
+func (sk *orgSink) reset() {
+	sk.promoted = sk.promoted[:0]
+	sk.touches = sk.touches[:0]
+	sk.children = sk.children[:0]
+	sk.stats = radio.Stats{}
+	sk.metrics = Metrics{}
+}
+
+// promote records a head promotion in the overlay.
+func (sk *orgSink) promote(id radio.NodeID, p geom.Point) {
+	sk.promoted = append(sk.promoted, promotedHead{id, p})
+}
+
+// broadcast mirrors the reliable-radio Medium.Broadcast — receiver
+// query plus accounting — without touching shared state: the stats
+// deltas go to the sink and the receiver list into private scratch.
+// shardable() guarantees the reliable model (no loss, no faults, no
+// blackouts, no traffic trace), under which the real Broadcast does
+// exactly this.
+func (sk *orgSink) broadcast(sender radio.NodeID, radius float64) []radio.NodeID {
+	m := sk.nw.med
+	p, ok := m.Position(sender)
+	if !ok {
+		return nil
+	}
+	sk.stats.Broadcasts++
+	sk.stats.RangeQueries++
+	sk.recvBuf = m.WithinRangeUncounted(sk.recvBuf[:0], p, radius, sender)
+	sk.stats.Deliveries += uint64(len(sk.recvBuf))
+	return sk.recvBuf
+}
+
+// headsAt is the sink's counted head query: the uncounted head-grid
+// read merged with the event's own promotion overlay, ascending by ID
+// — exactly the serial headRoleAt result.
+func (sk *orgSink) headsAt(p geom.Point, dist float64) []radio.NodeID {
+	sk.stats.RangeQueries++
+	sk.queryBuf = sk.nw.med.HeadsWithinRangeUncounted(sk.queryBuf[:0], p, dist, radio.None)
+	if len(sk.promoted) > 0 {
+		r2 := dist * dist
+		for _, ph := range sk.promoted {
+			if ph.pos.Dist2(p) <= r2 {
+				i, _ := slices.BinarySearch(sk.queryBuf, ph.id)
+				sk.queryBuf = slices.Insert(sk.queryBuf, i, ph.id)
+			}
+		}
+	}
+	return sk.queryBuf
+}
+
+// reachableHeadsAt is the sink's counterpart of the network method: no
+// blackouts exist under the shardable() gate, but the filter runs for
+// exact behavioral parity.
+func (sk *orgSink) reachableHeadsAt(p geom.Point, dist float64) []radio.NodeID {
+	heads := sk.headsAt(p, dist)
+	out := heads[:0]
+	for _, id := range heads {
+		if !sk.nw.med.InBlackout(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// minChooseParallel is the smallest ASSOCIATE_ORG_RESP receiver list
+// worth fanning across goroutines; below it the spawn overhead beats
+// the per-receiver work (a head query plus a candidate ranking).
+const minChooseParallel = 64
+
+// chooseHeadsParallel runs the ASSOCIATE_ORG_RESP loop of one sharded
+// HEAD_ORG across up to sk.par goroutines. This is where dense-lattice
+// parallelism actually lives: same-wave neighboring HEAD_ORGs conflict
+// (their boundary associates hear both), so conflict levels on a dense
+// field degenerate to one event each — but within an event, receivers
+// are independent. Each re-chooses against the same fixed head set and
+// writes only its own node state, so contiguous chunks run concurrently
+// on per-chunk sub-sinks; deferred touches are concatenated in chunk
+// (= receiver) order and the query counts summed, making the result
+// independent of the chunk count and byte-identical to the serial loop.
+func (nw *Network) chooseHeadsParallel(recv []radio.NodeID, sk *orgSink) {
+	chunks := sk.par
+	if m := len(recv) / (minChooseParallel / 2); chunks > m {
+		chunks = m
+	}
+	if chunks < 2 {
+		for _, rid := range recv {
+			nw.chooseHeadIn(rid, sk)
+		}
+		return
+	}
+	for len(sk.subs) < chunks {
+		sk.subs = append(sk.subs, &orgSink{nw: nw})
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		sub := sk.subs[c]
+		sub.promoted = sk.promoted // read-only during the loop
+		part := recv[c*len(recv)/chunks : (c+1)*len(recv)/chunks]
+		wg.Add(1)
+		go func(sub *orgSink, part []radio.NodeID) {
+			defer wg.Done()
+			for _, rid := range part {
+				nw.chooseHeadIn(rid, sub)
+			}
+		}(sub, part)
+	}
+	wg.Wait()
+	for c := 0; c < chunks; c++ {
+		sub := sk.subs[c]
+		sk.touches = append(sk.touches, sub.touches...)
+		// chooseHeadIn touches shared accounting only through the head
+		// query counter; everything else lands in per-node state.
+		sk.stats.RangeQueries += sub.stats.RangeQueries
+		sub.promoted = nil
+		sub.reset()
+	}
+}
+
+// conflictDist bounds how far apart two same-wave HEAD_ORGs must be to
+// touch disjoint state. An event writes within W = SR+Rt of its head
+// (promotions, neighbor links, and every re-choosing associate are
+// inside the org broadcast range) and reads within R = 2SR+Rt (an
+// associate up to SR+Rt away re-chooses among heads within SR of
+// itself). Events farther than W+R = 3SR+2Rt apart can neither read
+// each other's writes nor write each other's reads, in either order —
+// so they commute and may run concurrently.
+func (nw *Network) conflictDist() float64 {
+	return 3*nw.cfg.SearchRadius() + 2*nw.cfg.Rt
+}
+
+// shardable reports whether the sharded configure executor may run at
+// all. Anything that consumes per-delivery randomness, observes
+// per-event timing, or mutates state outside the wave model forces the
+// serial path: an active fault plan (jitter, loss, blackouts, retry
+// timers), a lossy broadcast model, an installed protocol tracer, a
+// medium traffic trace, running maintenance sweeps, or a non-empty
+// event queue.
+func (nw *Network) shardable() bool {
+	return !nw.faults.Active() &&
+		!nw.lossy &&
+		nw.tracer == nil &&
+		!nw.med.Tracing() &&
+		!nw.maintaining &&
+		nw.eng.Pending() == 0
+}
+
+// ConfigureSharded runs the full GS³-S configuration like
+// StartConfiguration + Engine().Run(0), but executes each wave of
+// HEAD_ORGs on up to workers goroutines. The result — node state,
+// snapshot bytes, medium stats, metrics, topology epochs, and the
+// engine clock — is byte-identical to the serial path for every
+// workers value. With workers ≤ 1, or when the network is not
+// shardable() (faults, lossy radio, tracers, running maintenance, or a
+// non-empty event queue), it simply runs the serial path.
+func (nw *Network) ConfigureSharded(workers int) error {
+	if workers <= 1 || !nw.shardable() {
+		if err := nw.StartConfiguration(); err != nil {
+			return err
+		}
+		nw.eng.Run(0)
+		return nil
+	}
+	if err := nw.prepareRoot(); err != nil {
+		return err
+	}
+
+	// The arena free list is single-threaded; park it while worker
+	// goroutines run. Link appends fall back to the heap.
+	nw.arenaOn = false
+	defer func() { nw.arenaOn = true }()
+
+	L := nw.orgLatency()
+	start := nw.eng.Now()
+	waves := 0
+
+	wave := []radio.NodeID{nw.bigID}
+	var sinks []*orgSink
+	var next []radio.NodeID
+	var levels []int32
+	for len(wave) > 0 {
+		waves++
+		for len(sinks) < len(wave) {
+			sinks = append(sinks, &orgSink{nw: nw})
+		}
+		levels = planWaveLevels(nw, wave, levels)
+		maxLevel := int32(0)
+		for _, l := range levels {
+			if l > maxLevel {
+				maxLevel = l
+			}
+		}
+
+		for level := int32(1); level <= maxLevel; level++ {
+			// Divide the worker budget between across-event fan-out and
+			// each event's own ASSOCIATE_ORG_RESP loop. Dense lattices
+			// produce one-event levels (adjacent HEAD_ORGs conflict), so
+			// the whole budget usually goes intra-event.
+			count := 0
+			for i := range wave {
+				if levels[i] == level {
+					count++
+				}
+			}
+			par := workers / count
+			if par < 1 {
+				par = 1
+			}
+			for i := range wave {
+				if levels[i] == level {
+					sinks[i].par = par
+				}
+			}
+			runWaveLevel(nw, wave, levels, level, sinks, workers)
+			// Level barrier: install the head-index flips in seq order
+			// so the next level's queries (and the final grid) see them.
+			for i := range wave {
+				if levels[i] != level {
+					continue
+				}
+				for _, ph := range sinks[i].promoted {
+					nw.med.SetHeadRole(ph.id, true)
+				}
+			}
+		}
+
+		// Wave merge, in seq order: topology touches (epoch counters
+		// advance exactly as under the serial schedule), stats, metrics,
+		// and the next wave's HEAD_ORGs in promotion order.
+		next = next[:0]
+		for i := range wave {
+			sk := sinks[i]
+			for _, id := range sk.touches {
+				nw.touch(id)
+			}
+			nw.med.AddStats(sk.stats)
+			nw.addMetrics(sk.metrics)
+			next = append(next, sk.children...)
+			sk.reset()
+		}
+		wave, next = next, wave
+	}
+
+	// The serial run's clock ends at the last wave's fire time.
+	nw.eng.RunUntil(start + float64(waves-1)*L)
+	return nil
+}
+
+// runWaveLevel executes every wave event on the given level
+// concurrently on up to workers goroutines. Events are dealt round-
+// robin; each runs against its own sink, so the goroutines share only
+// read-only state.
+func runWaveLevel(nw *Network, wave []radio.NodeID, levels []int32, level int32, sinks []*orgSink, workers int) {
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(wave); i += workers {
+				if levels[i] == level {
+					nw.headOrg(wave[i], sinks[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// planWaveLevels assigns each wave event (in seq order) its execution
+// level: 1 + the highest level among earlier-seq events within the
+// conflict distance, via a bucket grid of conflictDist-sized cells (a
+// 3×3 ring covers every candidate pair). The assignment is a pure
+// function of event positions and order, so it is identical for every
+// worker count. levels is reused as the backing for the result.
+func planWaveLevels(nw *Network, wave []radio.NodeID, levels []int32) []int32 {
+	levels = levels[:0]
+	if cap(levels) < len(wave) {
+		levels = make([]int32, 0, len(wave))
+	}
+	d := nw.conflictDist()
+	d2 := d * d
+	type cellKey struct{ x, y int }
+	cells := make(map[cellKey][]int32, len(wave))
+	key := func(p geom.Point) cellKey {
+		return cellKey{int(p.X / d), int(p.Y / d)}
+	}
+	for i, id := range wave {
+		p := nw.Position(id)
+		level := int32(1)
+		base := key(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range cells[cellKey{base.x + dx, base.y + dy}] {
+					if nw.Position(wave[j]).Dist2(p) <= d2 && levels[j] >= level {
+						level = levels[j] + 1
+					}
+				}
+			}
+		}
+		levels = append(levels, level)
+		cells[base] = append(cells[base], int32(i))
+	}
+	return levels
+}

@@ -52,10 +52,35 @@ type Snapshot struct {
 
 // Snapshot captures the current network state. Dead nodes are omitted:
 // they have left the system model.
+//
+// All per-view Children/Neighbors clones are carved from one backing
+// array sized by a counting pre-pass, so a snapshot costs three
+// allocations regardless of node count. Empty lists stay nil, matching
+// what a per-view clone would produce.
 func (nw *Network) Snapshot() Snapshot {
 	s := Snapshot{Config: nw.cfg, Time: nw.eng.Now(), BigID: nw.bigID}
-	for _, id := range nw.SortedIDs() {
-		n := nw.nodes[id]
+	ids := nw.SortedIDs()
+	alive, links := 0, 0
+	for _, id := range ids {
+		n := nw.node(id)
+		if n == nil || n.Status == StatusDead {
+			continue
+		}
+		alive++
+		links += len(n.Children) + len(n.Neighbors)
+	}
+	s.Nodes = make([]NodeView, 0, alive)
+	backing := make([]radio.NodeID, 0, links)
+	clone := func(src []radio.NodeID) []radio.NodeID {
+		if len(src) == 0 {
+			return nil
+		}
+		start := len(backing)
+		backing = append(backing, src...)
+		return backing[start:len(backing):len(backing)]
+	}
+	for _, id := range ids {
+		n := nw.node(id)
 		if n == nil || n.Status == StatusDead {
 			continue
 		}
@@ -68,13 +93,13 @@ func (nw *Network) Snapshot() Snapshot {
 			OIL:       n.OIL,
 			Spiral:    n.Spiral,
 			Parent:    n.Parent,
-			Children:  append([]radio.NodeID(nil), n.Children...),
-			Neighbors: append([]radio.NodeID(nil), n.Neighbors...),
+			Children:  clone(n.Children),
+			Neighbors: clone(n.Neighbors),
 			Hops:      n.Hops,
 			Head:      n.Head,
 			Candidate: n.Candidate,
-			Proxy:     n.Proxy,
-			Energy:    n.Energy,
+			Proxy:     nw.coldOf(id).Proxy,
+			Energy:    nw.coldOf(id).Energy,
 			Blackout:  nw.med.InBlackout(id),
 		})
 	}
@@ -132,7 +157,7 @@ const (
 // the damage (for CorruptIL it is the displacement distance). Healing is
 // left to sanity checking and the maintenance sweeps.
 func (nw *Network) Corrupt(id radio.NodeID, kind CorruptionKind, delta float64) {
-	n := nw.nodes[id]
+	n := nw.node(id)
 	if n == nil || n.Status == StatusDead {
 		return
 	}
@@ -151,7 +176,7 @@ func (nw *Network) Corrupt(id radio.NodeID, kind CorruptionKind, delta float64) 
 		if n.Status == StatusAssociate {
 			// The node wrongly believes it is a head of a cell at its
 			// own position — a classic arbitrary-state start.
-			n.Status = StatusWork
+			nw.setStatus(n, StatusWork)
 			n.IL = nw.Position(id)
 			n.OIL = n.IL
 			n.Spiral = hexlat.SpiralIndex{}

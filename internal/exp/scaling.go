@@ -2,7 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"math"
 
+	"gs3/internal/core"
 	"gs3/internal/netsim"
 	"gs3/internal/radio"
 	"gs3/internal/runner"
@@ -97,6 +99,68 @@ func StaticConvergence(p runner.Pool, r float64, regionRadii []float64, seed uin
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("linear fit: time = %.4g*Db %+.4g (R2=%.4f)", fit.Slope, fit.Intercept, fit.R2))
 	return t, fit, nil
+}
+
+// RegionRadiusFor returns the deployment disk radius that yields
+// approximately target nodes on the default triangular grid with the
+// given spacing (each grid node covers an area of spacing²·√3/2).
+func RegionRadiusFor(target int, spacing float64) float64 {
+	area := float64(target) * spacing * spacing * math.Sqrt(3) / 2
+	return math.Sqrt(area / math.Pi)
+}
+
+// ConfigureScaling is experiment N1: configuration cost versus network
+// size on node-count targets rather than radii, run through the
+// wave-parallel sharded executor (byte-identical to the serial
+// diffusing computation, so every reported value is deterministic; only
+// the wall clock depends on workers). For each target it reports the
+// actual node count, the deployment radius Db, the virtual configure
+// time, the head count, and the configuration broadcasts per node —
+// the paper's locality claim (O(1) messages per node) checked at scales
+// the serial executor would take minutes to reach. Targets run
+// sequentially: each trial is large, and the parallelism lives inside
+// the sharded executor.
+func ConfigureScaling(r float64, targets []int, workers int, seed uint64) (Table, error) {
+	t := Table{
+		ID:      "N1",
+		Title:   "Sharded configuration vs node count",
+		Columns: []string{"n", "Db", "time", "heads", "bootup", "broadcastsPerNode"},
+		Notes: []string{
+			fmt.Sprintf("sharded executor, %d workers; output identical for any worker count", workers),
+		},
+	}
+	for _, target := range targets {
+		opt := netsim.DefaultOptions(r, RegionRadiusFor(target, netsim.DefaultOptions(r, 1).GridSpacing))
+		opt.Seed = seed
+		s, err := netsim.Build(opt)
+		if err != nil {
+			return Table{}, err
+		}
+		elapsed, err := s.ConfigureSharded(workers)
+		if err != nil {
+			return Table{}, err
+		}
+		snap := s.Net.Snapshot()
+		heads, bootup := 0, 0
+		for _, v := range snap.Nodes {
+			switch {
+			case v.IsHead():
+				heads++
+			case v.Status == core.StatusBootup:
+				bootup++
+			}
+		}
+		n := float64(s.Net.Medium().Count())
+		t.Rows = append(t.Rows, []float64{
+			n,
+			opt.RegionRadius,
+			elapsed,
+			float64(heads),
+			float64(bootup),
+			float64(s.Net.Medium().Stats().Broadcasts) / n,
+		})
+	}
+	return t, nil
 }
 
 // MessageLocality reports, for the same configured networks, the radio

@@ -15,11 +15,12 @@ import (
 func bruteWithinRange(m *Medium, p geom.Point, dist float64, exclude NodeID) []NodeID {
 	var out []NodeID
 	r2 := dist * dist
-	for id, q := range m.positions {
-		if id == exclude {
+	for i, on := range m.on {
+		id := NodeID(i)
+		if !on || id == exclude {
 			continue
 		}
-		if q.Dist2(p) <= r2 {
+		if m.pos[i].Dist2(p) <= r2 {
 			out = append(out, id)
 		}
 	}
@@ -100,6 +101,75 @@ func TestWithinRangePropertyVsBruteForce(t *testing.T) {
 				place(id)
 			}
 			check(step)
+		}
+	}
+}
+
+// bruteHeadsWithinRange is the all-pairs reference for the head-only
+// query: filter on the headRole flag, same predicate and order.
+func bruteHeadsWithinRange(m *Medium, p geom.Point, dist float64, exclude NodeID) []NodeID {
+	var out []NodeID
+	r2 := dist * dist
+	for i, on := range m.on {
+		id := NodeID(i)
+		if !on || !m.headRole[i] || id == exclude {
+			continue
+		}
+		if m.pos[i].Dist2(p) <= r2 {
+			out = append(out, id)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// TestHeadsWithinRangePropertyVsBruteForce churns placements, removals,
+// and head-role flips, and checks after every step that the head index
+// matches a brute-force filter over the role flags. Any divergence is a
+// dual-grid maintenance bug (Place/Remove/SetHeadRole out of sync).
+func TestHeadsWithinRangePropertyVsBruteForce(t *testing.T) {
+	src := rng.New(99)
+	p := Params{MaxRange: 100, DiffusionSpeed: 100, CellSize: 30}
+	m, err := NewMedium(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	place := func(id NodeID) {
+		x, y := src.InRect(-150, -150, 150, 150)
+		m.Place(id, geom.Point{X: x, Y: y})
+	}
+	for id := NodeID(0); id < n; id++ {
+		place(id)
+		if src.Intn(3) == 0 {
+			m.SetHeadRole(id, true)
+		}
+	}
+	for step := 0; step < 200; step++ {
+		id := NodeID(src.Intn(n))
+		switch src.Intn(4) {
+		case 0:
+			place(id) // move keeps the head entry relocated
+		case 1:
+			m.Remove(id) // removal must clear the head entry and flag
+		case 2:
+			m.SetHeadRole(id, true)
+		case 3:
+			m.SetHeadRole(id, false)
+		}
+		apex := geom.Point{X: float64(src.Intn(7)-3) * 30, Y: float64(src.Intn(7)-3) * 30}
+		for _, dist := range []float64{20, 30, 80} {
+			want := bruteHeadsWithinRange(m, apex, dist, None)
+			got := m.HeadsWithinRangeAppend(nil, apex, dist, None)
+			if !slices.Equal(got, want) {
+				t.Fatalf("step %d: HeadsWithinRange(%v, %v) = %v, want %v", step, apex, dist, got, want)
+			}
+			if un := m.HeadsWithinRangeUncounted(nil, apex, dist, None); !slices.Equal(un, want) {
+				t.Fatalf("step %d: HeadsWithinRangeUncounted = %v, want %v", step, un, want)
+			}
+		}
+		if m.HeadRole(id) != (m.known(id) && m.headRole[id]) {
+			t.Fatalf("step %d: HeadRole(%d) inconsistent", step, id)
 		}
 	}
 }

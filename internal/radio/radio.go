@@ -15,6 +15,16 @@
 // Propagation delay is distance/DiffusionSpeed plus a fixed per-message
 // overhead; convergence times in the paper are stated in units of
 // one-way message diffusion time, which this realizes directly.
+//
+// # Storage layout
+//
+// Node IDs are dense small integers (the network allocates them
+// sequentially from 0), so per-node medium state — position, presence,
+// blackout, head-role flag — lives in plain ID-indexed slices rather
+// than maps. The spatial index is a pair of grids: one over all
+// on-medium nodes, and one over just the head-role nodes, so queries
+// that only want heads (the protocol's most frequent query by far) run
+// in output-sensitive time instead of scanning every node in range.
 package radio
 
 import (
@@ -43,6 +53,8 @@ var (
 )
 
 // NodeID identifies a node on the medium. The big node is always ID 0.
+// IDs are allocated densely from 0 by the network layer; the medium's
+// per-node state is indexed by them directly.
 type NodeID int
 
 // None is the absent-node sentinel.
@@ -104,10 +116,20 @@ type Medium struct {
 	params Params
 	src    *rng.Source
 
-	positions map[NodeID]geom.Point
-	alive     map[NodeID]bool
-	grid      map[gridKey][]gridEntry
-	cellSize  float64
+	// Per-node state, indexed by NodeID (struct-of-arrays): pos is the
+	// position, on marks presence on the medium, headRole mirrors the
+	// protocol's head-role flag (SetHeadRole), blackout the transient
+	// crashes. The slices grow together (ensure) and never shrink.
+	pos      []geom.Point
+	on       []bool
+	headRole []bool
+	blackout []bool
+	count    int // number of on-medium nodes
+	nBlack   int // number of blacked-out nodes
+
+	grid     map[gridKey][]gridEntry
+	headGrid map[gridKey][]gridEntry
+	cellSize float64
 
 	// bcast is the reusable receiver buffer for Broadcast: steady-state
 	// broadcasts allocate nothing. It is distinct from any caller-owned
@@ -120,10 +142,8 @@ type Medium struct {
 	bcastOut []NodeID
 
 	// inj injects message faults; nil means a perfectly reliable
-	// medium (beyond BroadcastLoss). blackout marks nodes that are
-	// transiently crashed: they neither send nor receive.
-	inj      *fault.Injector
-	blackout map[NodeID]bool
+	// medium (beyond BroadcastLoss).
+	inj *fault.Injector
 
 	// epoch is the global topology-change counter and epochs the
 	// per-bucket view of it: a bucket's entry is the epoch value at
@@ -149,8 +169,8 @@ type Medium struct {
 type gridKey struct{ x, y int }
 
 // gridEntry colocates a node's position with its ID inside the grid
-// bucket, so range tests never touch the positions map on the hot path.
-// Place and Remove keep it in sync with positions.
+// bucket, so range tests never touch the position slice on the hot
+// path. Place and Remove keep it in sync with pos.
 type gridEntry struct {
 	id  NodeID
 	pos geom.Point
@@ -170,19 +190,45 @@ func NewMedium(params Params, src *rng.Source) (*Medium, error) {
 		cs = params.MaxRange
 	}
 	return &Medium{
-		params:    params,
-		src:       src,
-		positions: make(map[NodeID]geom.Point),
-		alive:     make(map[NodeID]bool),
-		grid:      make(map[gridKey][]gridEntry),
-		epochs:    make(map[gridKey]uint64),
-		cellSize:  cs,
+		params:   params,
+		src:      src,
+		grid:     make(map[gridKey][]gridEntry),
+		headGrid: make(map[gridKey][]gridEntry),
+		epochs:   make(map[gridKey]uint64),
+		cellSize: cs,
 	}, nil
 }
 
 // Params returns the medium's configuration.
 func (m *Medium) Params() Params {
 	return m.params
+}
+
+// Reserve pre-sizes the per-node state slices for n nodes, so a bulk
+// deployment's Place calls grow nothing. Purely an optimization.
+func (m *Medium) Reserve(n int) {
+	if n <= cap(m.pos) {
+		return
+	}
+	m.pos = append(make([]geom.Point, 0, n), m.pos...)
+	m.on = append(make([]bool, 0, n), m.on...)
+	m.headRole = append(make([]bool, 0, n), m.headRole...)
+	m.blackout = append(make([]bool, 0, n), m.blackout...)
+}
+
+// ensure grows the per-node slices to cover id.
+func (m *Medium) ensure(id NodeID) {
+	for int(id) >= len(m.pos) {
+		m.pos = append(m.pos, geom.Point{})
+		m.on = append(m.on, false)
+		m.headRole = append(m.headRole, false)
+		m.blackout = append(m.blackout, false)
+	}
+}
+
+// known reports whether id indexes the per-node slices.
+func (m *Medium) known(id NodeID) bool {
+	return id >= 0 && int(id) < len(m.on)
 }
 
 // Stats returns a copy of the traffic counters.
@@ -234,11 +280,14 @@ func (s Stats) Sub(prev Stats) Stats {
 // from node id's current position, so footprint measurements see the
 // same sender positions whether or not the transmission was elided.
 func (m *Medium) TraceSend(id NodeID) {
-	if m.trace != nil {
-		if p, ok := m.positions[id]; ok {
-			m.trace(p)
-		}
+	if m.trace != nil && m.known(id) && m.on[id] {
+		m.trace(m.pos[id])
 	}
+}
+
+// Tracing reports whether a traffic-trace collector is installed.
+func (m *Medium) Tracing() bool {
+	return m.trace != nil
 }
 
 // SetFaults installs (or, with nil, removes) a fault injector. The
@@ -266,25 +315,25 @@ func (m *Medium) CountRetry() {
 // its position and protocol state.
 func (m *Medium) SetBlackout(id NodeID, down bool) {
 	if down {
-		if m.blackout == nil {
-			m.blackout = make(map[NodeID]bool)
-		}
+		m.ensure(id)
 		if !m.blackout[id] {
 			m.blackout[id] = true
+			m.nBlack++
 			m.stats.Blackouts++
 			m.Touch(id)
 		}
 		return
 	}
-	if m.blackout[id] {
-		delete(m.blackout, id)
+	if m.known(id) && m.blackout[id] {
+		m.blackout[id] = false
+		m.nBlack--
 		m.Touch(id)
 	}
 }
 
 // InBlackout reports whether id is currently blacked out.
 func (m *Medium) InBlackout(id NodeID) bool {
-	return len(m.blackout) > 0 && m.blackout[id]
+	return m.nBlack > 0 && m.known(id) && m.blackout[id]
 }
 
 // TraceTraffic installs fn to be called with the sender position of
@@ -316,8 +365,8 @@ func (m *Medium) Epoch() uint64 {
 // the node (role, links, cell state) rather than its position. Nodes
 // not on the medium are ignored; their removal already bumped.
 func (m *Medium) Touch(id NodeID) {
-	if p, ok := m.positions[id]; ok {
-		m.bump(p)
+	if m.known(id) && m.on[id] {
+		m.bump(m.pos[id])
 	}
 }
 
@@ -350,35 +399,90 @@ func (m *Medium) RegionEpoch(p geom.Point, dist float64) uint64 {
 
 // Place adds or moves a node. A placed node is alive.
 func (m *Medium) Place(id NodeID, p geom.Point) {
-	if old, ok := m.positions[id]; ok {
-		m.removeFromGrid(id, old)
-		m.bump(old)
+	if id < 0 {
+		return
 	}
-	m.positions[id] = p
-	m.alive[id] = true
+	m.ensure(id)
+	if m.on[id] {
+		old := m.pos[id]
+		removeFromGrid(m.grid, id, old, m.cellSize)
+		if m.headRole[id] {
+			removeFromGrid(m.headGrid, id, old, m.cellSize)
+		}
+		m.bump(old)
+	} else {
+		m.count++
+	}
+	m.pos[id] = p
+	m.on[id] = true
 	k := m.key(p)
 	m.grid[k] = append(m.grid[k], gridEntry{id, p})
+	if m.headRole[id] {
+		m.headGrid[k] = append(m.headGrid[k], gridEntry{id, p})
+	}
 	m.bump(p)
 }
 
 // Remove takes a node off the medium (death or leave).
 func (m *Medium) Remove(id NodeID) {
-	if p, ok := m.positions[id]; ok {
-		m.removeFromGrid(id, p)
-		delete(m.positions, id)
-		delete(m.alive, id)
-		delete(m.blackout, id)
-		m.bump(p)
+	if !m.known(id) || !m.on[id] {
+		return
+	}
+	p := m.pos[id]
+	removeFromGrid(m.grid, id, p, m.cellSize)
+	if m.headRole[id] {
+		removeFromGrid(m.headGrid, id, p, m.cellSize)
+		m.headRole[id] = false
+	}
+	m.on[id] = false
+	m.count--
+	if m.blackout[id] {
+		m.blackout[id] = false
+		m.nBlack--
+	}
+	m.bump(p)
+}
+
+// SetHeadRole mirrors the protocol's head-role flag for id into the
+// medium's head index, so head-only range queries (HeadsWithinRange*)
+// answer in output-sensitive time. The protocol layer must call it on
+// every transition into or out of a head role; Place keeps the index
+// consistent across moves and Remove across deaths. Setting the flag
+// does not bump topology epochs — the protocol layer's own Touch on a
+// role change covers that.
+func (m *Medium) SetHeadRole(id NodeID, head bool) {
+	if id < 0 {
+		return
+	}
+	m.ensure(id)
+	if m.headRole[id] == head {
+		return
+	}
+	m.headRole[id] = head
+	if !m.on[id] {
+		return
+	}
+	p := m.pos[id]
+	if head {
+		k := m.key(p)
+		m.headGrid[k] = append(m.headGrid[k], gridEntry{id, p})
+	} else {
+		removeFromGrid(m.headGrid, id, p, m.cellSize)
 	}
 }
 
-func (m *Medium) removeFromGrid(id NodeID, p geom.Point) {
-	k := m.key(p)
-	bucket := m.grid[k]
+// HeadRole reports whether id is currently flagged as a head-role node.
+func (m *Medium) HeadRole(id NodeID) bool {
+	return m.known(id) && m.headRole[id]
+}
+
+func removeFromGrid(grid map[gridKey][]gridEntry, id NodeID, p geom.Point, cellSize float64) {
+	k := gridKey{int(math.Floor(p.X / cellSize)), int(math.Floor(p.Y / cellSize))}
+	bucket := grid[k]
 	for i, e := range bucket {
 		if e.id == id {
 			bucket[i] = bucket[len(bucket)-1]
-			m.grid[k] = bucket[:len(bucket)-1]
+			grid[k] = bucket[:len(bucket)-1]
 			return
 		}
 	}
@@ -386,27 +490,30 @@ func (m *Medium) removeFromGrid(id NodeID, p geom.Point) {
 
 // Alive reports whether id is on the medium.
 func (m *Medium) Alive(id NodeID) bool {
-	return m.alive[id]
+	return m.known(id) && m.on[id]
 }
 
 // Position returns the node's position; ok is false if the node is not
 // on the medium.
 func (m *Medium) Position(id NodeID) (geom.Point, bool) {
-	p, ok := m.positions[id]
-	return p, ok
+	if !m.known(id) || !m.on[id] {
+		return geom.Point{}, false
+	}
+	return m.pos[id], true
 }
 
 // Count returns the number of nodes currently on the medium.
 func (m *Medium) Count() int {
-	return len(m.positions)
+	return m.count
 }
 
-// IDs returns all node IDs currently on the medium, in unspecified
-// order.
+// IDs returns all node IDs currently on the medium, in ascending order.
 func (m *Medium) IDs() []NodeID {
-	out := make([]NodeID, 0, len(m.positions))
-	for id := range m.positions {
-		out = append(out, id)
+	out := make([]NodeID, 0, m.count)
+	for i, on := range m.on {
+		if on {
+			out = append(out, NodeID(i))
+		}
 	}
 	return out
 }
@@ -427,18 +534,51 @@ func (m *Medium) WithinRange(p geom.Point, dist float64, exclude NodeID) []NodeI
 // allocation-free.
 func (m *Medium) WithinRangeAppend(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
 	m.stats.RangeQueries++
+	return gridRange(m.grid, m.cellSize, dst, p, dist, exclude)
+}
+
+// WithinRangeUncounted is WithinRangeAppend without the RangeQueries
+// counter bump: a pure read of the spatial index. It exists for the
+// sharded configure executor, whose per-event contexts account queries
+// in their own deferred counters — and because it mutates nothing, any
+// number of goroutines may call it concurrently as long as no writer
+// (Place, Remove, SetHeadRole, …) runs at the same time.
+func (m *Medium) WithinRangeUncounted(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
+	return gridRange(m.grid, m.cellSize, dst, p, dist, exclude)
+}
+
+// HeadsWithinRangeAppend appends the IDs of head-role nodes (see
+// SetHeadRole) within dist of p — excluding exclude — to dst, in
+// ascending order. It scans only the head index, so the cost is
+// proportional to the number of heads near p, not the number of nodes.
+// It counts as one range query, exactly like the full-index query it
+// replaces on the protocol's hot paths.
+func (m *Medium) HeadsWithinRangeAppend(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
+	m.stats.RangeQueries++
+	return gridRange(m.headGrid, m.cellSize, dst, p, dist, exclude)
+}
+
+// HeadsWithinRangeUncounted is HeadsWithinRangeAppend without the
+// counter bump; the same pure-read concurrency contract as
+// WithinRangeUncounted applies.
+func (m *Medium) HeadsWithinRangeUncounted(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
+	return gridRange(m.headGrid, m.cellSize, dst, p, dist, exclude)
+}
+
+// gridRange is the shared ring-scan kernel behind the range queries.
+func gridRange(grid map[gridKey][]gridEntry, cellSize float64, dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
 	// Bucket-ring bound: let c = ⌊p/cs⌋ be the query's cell on one axis.
 	// Any node q with |q−p| ≤ dist has per-axis offset |q.x−p.x| ≤ dist,
 	// and for reals a, b with b ≥ 0: ⌊a+b⌋ − ⌊a⌋ ≤ ⌈b⌉ and, symmetric-
 	// ally, ⌊a⌋ − ⌊a−b⌋ ≤ ⌈b⌉. With b = dist/cs this bounds q's cell
 	// index within c ± ⌈dist/cs⌉, so a ring of r = ⌈dist/cs⌉ suffices.
-	r := int(math.Ceil(dist / m.cellSize))
+	r := int(math.Ceil(dist / cellSize))
 	r2 := dist * dist
 	start := len(dst)
-	base := m.key(p)
+	base := gridKey{int(math.Floor(p.X / cellSize)), int(math.Floor(p.Y / cellSize))}
 	for dx := -r; dx <= r; dx++ {
 		for dy := -r; dy <= r; dy++ {
-			for _, e := range m.grid[gridKey{base.x + dx, base.y + dy}] {
+			for _, e := range grid[gridKey{base.x + dx, base.y + dy}] {
 				if e.id == exclude {
 					continue
 				}
@@ -477,10 +617,10 @@ func (m *Medium) Delay(dist float64) float64 {
 // medium overwrites it. Callers that retain receivers across
 // broadcasts must copy them out.
 func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
-	p, ok := m.positions[sender]
-	if !ok {
+	if !m.known(sender) || !m.on[sender] {
 		return nil, 0
 	}
+	p := m.pos[sender]
 	if m.InBlackout(sender) {
 		return nil, 0
 	}
@@ -515,7 +655,7 @@ func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 			m.stats.FaultDups++
 			out = append(out, id)
 		}
-		if d := m.positions[id].Dist(p); d > maxDist {
+		if d := m.pos[id].Dist(p); d > maxDist {
 			maxDist = d
 		}
 	}
@@ -533,14 +673,14 @@ func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 // weakens it — a blacked-out endpoint or an injected loss turns the
 // send into an error, which the caller must treat as a timeout.
 func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
-	pf, ok := m.positions[from]
-	if !ok {
+	if !m.known(from) || !m.on[from] {
 		return 0, fmt.Errorf("radio: sender %d: %w", from, ErrNotOnMedium)
 	}
-	pt, ok := m.positions[to]
-	if !ok {
+	pf := m.pos[from]
+	if !m.known(to) || !m.on[to] {
 		return 0, fmt.Errorf("radio: receiver %d: %w", to, ErrNotOnMedium)
 	}
+	pt := m.pos[to]
 	if m.InBlackout(from) {
 		m.stats.BlackoutDrops++
 		return 0, fmt.Errorf("radio: sender %d: %w", from, ErrBlackout)
@@ -569,10 +709,8 @@ func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
 // either is absent. This is the "relative location detection" primitive
 // of the system model.
 func (m *Medium) Dist(a, b NodeID) float64 {
-	pa, oka := m.positions[a]
-	pb, okb := m.positions[b]
-	if !oka || !okb {
+	if !m.known(a) || !m.on[a] || !m.known(b) || !m.on[b] {
 		return math.Inf(1)
 	}
-	return pa.Dist(pb)
+	return m.pos[a].Dist(m.pos[b])
 }
