@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos traffic-smoke configure-smoke goldens golden-diff check
+.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos traffic-smoke configure-smoke adversary-smoke goldens golden-diff check
 
 all: check
 
@@ -77,6 +77,13 @@ traffic-smoke:
 configure-smoke:
 	GS3_CONFIGURE_SMOKE=1 $(GO) test -race -run TestConfigureSmoke50k -v ./internal/netsim
 
+# Adversarial-daemon smoke: the greedy worst-case daemon and the random
+# daemon replay the same candidate strikes on the scenario matrix; the
+# tests assert greedy healing effort >= random on every scenario.
+adversary-smoke:
+	$(GO) test -run 'TestGreedyAtLeastRandom|TestAdversaryMatrixGreedyAtLeastRandom' \
+		./internal/adversary ./internal/exp
+
 # Re-archive the golden experiment stdout under testdata/goldens/.
 goldens:
 	./scripts/goldens.sh generate
@@ -86,4 +93,4 @@ goldens:
 golden-diff:
 	./scripts/goldens.sh diff
 
-check: build vet race bench-smoke configure-smoke golden-diff fuzz-smoke chaos traffic-smoke
+check: build vet race bench-smoke configure-smoke golden-diff fuzz-smoke chaos traffic-smoke adversary-smoke

@@ -239,6 +239,32 @@ func experiments(nodes int) []experiment {
 			}
 			return t.Format(), nil
 		}},
+		{"R2", "disaster recovery: healing time and message overhead vs blast radius", func(p runner.Pool, seed uint64, quick bool) (string, error) {
+			radii := []float64{60, 120, 180}
+			trials, budget := 8, 80
+			if quick {
+				radii = []float64{60, 150}
+				trials = 3
+			}
+			t, err := exp.DisasterSweep(p, 100, 300, radii, trials, budget, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
+		{"ADV", "adversarial daemon vs random daemon: worst-case healing matrix", func(p runner.Pool, seed uint64, quick bool) (string, error) {
+			scenarios := exp.AdversaryScenarios(100, 300)
+			draws := 4
+			if quick {
+				scenarios = scenarios[:2]
+				draws = 2
+			}
+			t, err := exp.AdversaryMatrix(p, scenarios, draws, seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Format(), nil
+		}},
 		{"D1", "data plane: delivery ratio, latency, head energy vs loss x churn", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			rates := []float64{0, 0.1, 0.3}
 			packets := 200000

@@ -21,6 +21,9 @@
 //	gs3sim -region 400 -loss 0.2 -chaos -sweeps 120   # chaos watchdog
 //	gs3sim -region 400 -sweeps 20 -packets 50000              # data plane
 //	gs3sim -region 400 -sweeps 20 -packets 50000 -p2p 0.3 -loss 0.1 -churn 50
+//	gs3sim -region 300 -disaster 150,80,90 -disaster-at 4 -sweeps 30  # scheduled disaster
+//	gs3sim -region 300 -obstacle "120,-80,160,-80,160,80,120,80" -sweeps 30
+//	gs3sim -region 300 -sweeps 40 -energy 200 -energy-send 0.5,0.25   # battery death
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"gs3/internal/check"
 	"gs3/internal/core"
 	"gs3/internal/fault"
+	"gs3/internal/field"
 	"gs3/internal/geom"
 	"gs3/internal/netsim"
 	"gs3/internal/profiling"
@@ -57,21 +61,25 @@ func main() {
 // perturbation and reporting knobs. Each trial executes its own copy —
 // scenarios share nothing, so replicas can run concurrently.
 type scenario struct {
-	opt      netsim.Options
-	mobile   bool
-	hasKill  bool
-	killC    geom.Point
-	killR    float64
-	sweeps   int
-	chaos    bool
-	packets  int
-	rate     float64
-	p2p      float64
-	churn    int
-	traceN   int
-	svgPath  string
-	dumpPath string
-	quiet    bool
+	opt         netsim.Options
+	mobile      bool
+	hasKill     bool
+	killC       geom.Point
+	killR       float64
+	hasDisaster bool
+	disC        geom.Point
+	disR        float64
+	disAt       float64
+	sweeps      int
+	chaos       bool
+	packets     int
+	rate        float64
+	p2p         float64
+	churn       int
+	traceN      int
+	svgPath     string
+	dumpPath    string
+	quiet       bool
 }
 
 func run(args []string) (retErr error) {
@@ -86,6 +94,11 @@ func run(args []string) (retErr error) {
 		sweeps   = fs.Int("sweeps", 0, "maintenance sweeps to run after configuring (enables GS3-D)")
 		mobile   = fs.Bool("mobile", false, "run GS3-M instead of GS3-D maintenance")
 		killDisk = fs.String("kill-disk", "", "kill all nodes in disk \"x,y,radius\" after configuring")
+		disaster = fs.String("disaster", "", "schedule a disaster disk \"x,y,radius\" to strike mid-run")
+		disAt    = fs.Float64("disaster-at", 5, "sweeps into the run at which -disaster strikes")
+		obstacle = fs.String("obstacle", "", "polygonal obstacles \"x1,y1,x2,y2,...[;...]\": cleared of nodes and radio-occluding")
+		energy   = fs.Float64("energy", 0, "initial per-node battery (0 = energy model off)")
+		enSend   = fs.String("energy-send", "", "per-transmission drain \"broadcast,unicast\" (needs -energy)")
 		loss     = fs.Float64("loss", 0, "per-delivery message loss probability [0,1)")
 		dup      = fs.Float64("dup", 0, "per-delivery duplication probability [0,1)")
 		jitter   = fs.Float64("jitter", 0, "delay jitter factor (delay scaled by up to 1+jitter)")
@@ -170,6 +183,43 @@ func run(args []string) (retErr error) {
 		base.hasKill = true
 		base.killC, base.killR = c, radius
 	}
+	if *disaster != "" {
+		c, radius, err := parseDisk(*disaster)
+		if err != nil {
+			return err
+		}
+		if base.sweeps <= 0 && base.packets <= 0 {
+			return fmt.Errorf("-disaster needs -sweeps or -packets to run the clock")
+		}
+		base.hasDisaster = true
+		base.disC, base.disR, base.disAt = c, radius, *disAt
+	}
+	if *obstacle != "" {
+		obs, err := parsePolygons(*obstacle)
+		if err != nil {
+			return err
+		}
+		base.opt.Obstacles = obs
+	}
+	if *energy > 0 {
+		base.opt.Config.InitialEnergy = *energy
+	}
+	if *enSend != "" {
+		if *energy <= 0 {
+			return fmt.Errorf("-energy-send needs -energy")
+		}
+		parts := strings.Split(*enSend, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -energy-send %q: want broadcast,unicast", *enSend)
+		}
+		b, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		u, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -energy-send %q: want broadcast,unicast", *enSend)
+		}
+		base.opt.Config.BroadcastCost = b
+		base.opt.Config.UnicastCost = u
+	}
 
 	if *trials == 1 {
 		return base.run(os.Stdout)
@@ -238,6 +288,12 @@ func (sc scenario) run(w io.Writer) error {
 			fmt.Fprintf(w, "killed %d nodes in disk (%.0f,%.0f) r=%.0f\n", killed, sc.killC.X, sc.killC.Y, sc.killR)
 		}
 	}
+	if sc.hasDisaster {
+		at := s.Net.Engine().Now() + sc.disAt*sc.opt.Config.HeartbeatInterval
+		if err := s.ScheduleDisaster(netsim.Disaster{At: at, Center: sc.disC, Radius: sc.disR}); err != nil {
+			return err
+		}
+	}
 	var chaosErr error
 	if sc.sweeps > 0 {
 		variant := core.VariantD
@@ -285,6 +341,13 @@ func (sc scenario) run(w io.Writer) error {
 			rep.HeadsUsed, rep.Forwards, rep.MeanHeadForwards, rep.HeadEnergy, rep.MaxHeadEnergy)
 	}
 
+	if sc.hasDisaster {
+		for _, d := range s.Disasters() {
+			fmt.Fprintf(w, "disaster: at=%.2f center=(%.0f,%.0f) r=%.0f killed=%d\n",
+				d.At, d.Center.X, d.Center.Y, d.Radius, d.Killed)
+		}
+	}
+
 	snap := s.Net.Snapshot()
 	st := check.Stats(snap)
 	mode := check.Static
@@ -308,6 +371,27 @@ func (sc scenario) run(w io.Writer) error {
 			m.HeadOrgs, m.HeadsSelected, m.HeadShifts, m.CellShifts, m.Abandonments, m.SanityRetreats)
 		rs := s.Net.Medium().Stats()
 		fmt.Fprintf(w, "radio: broadcasts=%d unicasts=%d deliveries=%d\n", rs.Broadcasts, rs.Unicasts, rs.Deliveries)
+		if len(sc.opt.Obstacles) > 0 {
+			fmt.Fprintf(w, "obstacles: polygons=%d occlusionBlocks=%d\n", len(sc.opt.Obstacles), rs.OcclusionBlocks)
+		}
+		if sc.opt.Config.InitialEnergy > 0 {
+			minE, sumE, small := 0.0, 0.0, 0
+			for _, v := range snap.Nodes {
+				if v.IsBig {
+					continue
+				}
+				if small == 0 || v.Energy < minE {
+					minE = v.Energy
+				}
+				sumE += v.Energy
+				small++
+			}
+			meanE := 0.0
+			if small > 0 {
+				meanE = sumE / float64(small)
+			}
+			fmt.Fprintf(w, "energy: alive=%d min=%.2f mean=%.2f\n", small, minE, meanE)
+		}
 		if sc.opt.Faults.Active() {
 			fmt.Fprintf(w, "faults: drops=%d dups=%d blackouts=%d blackoutDrops=%d retries=%d\n",
 				rs.FaultDrops, rs.FaultDups, rs.Blackouts, rs.BlackoutDrops, rs.Retries)
@@ -342,6 +426,36 @@ func (sc scenario) run(w io.Writer) error {
 		}
 	}
 	return chaosErr
+}
+
+// parsePolygons parses semicolon-separated polygons, each a flat
+// comma-separated list of at least three x,y vertex pairs.
+func parsePolygons(s string) ([]field.Obstacle, error) {
+	var out []field.Obstacle
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nums := strings.Split(part, ",")
+		if len(nums) < 6 || len(nums)%2 != 0 {
+			return nil, fmt.Errorf("bad polygon %q: want x1,y1,x2,y2,... with at least 3 vertices", part)
+		}
+		pg := make(field.Obstacle, 0, len(nums)/2)
+		for i := 0; i < len(nums); i += 2 {
+			x, err1 := strconv.ParseFloat(strings.TrimSpace(nums[i]), 64)
+			y, err2 := strconv.ParseFloat(strings.TrimSpace(nums[i+1]), 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad polygon vertex %q,%q", nums[i], nums[i+1])
+			}
+			pg = append(pg, geom.Point{X: x, Y: y})
+		}
+		out = append(out, pg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no polygons in %q", s)
+	}
+	return out, nil
 }
 
 func parseDisk(s string) (geom.Point, float64, error) {

@@ -13,8 +13,8 @@ import (
 // TestDocComments is the doc-comment lint pass for the simulation
 // substrate, the data plane, and the protocol core: every exported
 // symbol of internal/sim, internal/netsim, internal/runner,
-// internal/traffic, internal/gather, internal/core, and internal/radio
-// must carry a doc comment (these are the packages whose thread-safety
+// internal/traffic, internal/gather, internal/core, internal/radio,
+// and internal/adversary must carry a doc comment (these are the packages whose thread-safety
 // contracts the concurrency model depends on — including the node
 // store and the sharded configure executor — so their godoc is
 // required to state them).
@@ -22,7 +22,7 @@ func TestDocComments(t *testing.T) {
 	for _, dir := range []string{
 		"internal/sim", "internal/netsim", "internal/runner",
 		"internal/traffic", "internal/gather",
-		"internal/core", "internal/radio",
+		"internal/core", "internal/radio", "internal/adversary",
 	} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {

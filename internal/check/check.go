@@ -240,15 +240,25 @@ func (ix *index) headsNear(p geom.Point, dist float64) []int {
 	return ix.nearBuf
 }
 
+// occluded reports whether an obstacle blocks the line of sight between
+// two positions in this snapshot. With no obstacles it is constant
+// false, so obstacle-free checks behave exactly as before.
+func (ix *index) occluded(a, b geom.Point) bool {
+	return len(ix.snap.Obstacles) != 0 && geom.AnyOccludes(ix.snap.Obstacles, a, b)
+}
+
 // isBoundary reports whether head h is a boundary cell head: one with
 // fewer than 6 heads in the neighbor distance band around it. The
 // paper's boundary cells (geographic edge or next to an R_t-gap region)
-// are exactly the cells missing lattice neighbors.
+// are exactly the cells missing lattice neighbors. Heads behind an
+// obstacle do not count: an unhearable lattice neighbor is a missing
+// one, so cells lining an obstacle are boundary cells — exactly like
+// cells lining an R_t-gap.
 func (ix *index) isBoundary(h core.NodeView) bool {
 	cfg := ix.snap.Config
 	count := 0
 	for _, oi := range ix.headsNear(h.Pos, cfg.NeighborDistMax()+1e-9) {
-		if ix.heads[oi].ID != h.ID {
+		if ix.heads[oi].ID != h.ID && !ix.occluded(h.Pos, ix.heads[oi].Pos) {
 			count++
 		}
 	}
@@ -361,10 +371,12 @@ func checkI2(ix *index, mode Mode, r *Result) {
 		// in-band heads directly, ascending by ID like the full scan did.
 		// Pairs involving a blacked-out head are skipped: a replacement
 		// head legitimately coexists near its down predecessor until the
-		// predecessor restores and yields.
+		// predecessor restores and yields. Occluded pairs are skipped for
+		// the same reason: heads that cannot hear each other are not
+		// protocol neighbors, however close an obstacle lets them stand.
 		for _, oi := range ix.headsNear(h.Pos, hi+1e-9) {
 			o := ix.heads[oi]
-			if o.ID == h.ID || h.Blackout || o.Blackout {
+			if o.ID == h.ID || h.Blackout || o.Blackout || ix.occluded(h.Pos, o.Pos) {
 				continue
 			}
 			d := h.Pos.Dist(o.Pos)
@@ -461,7 +473,7 @@ func checkI3(ix *index, mode Mode, r *Result) {
 		chosen := v.Pos.Dist(hv.Pos)
 		for _, oi := range ix.headsNear(v.Pos, chosen) {
 			o := ix.heads[oi]
-			if o.Blackout {
+			if o.Blackout || ix.occluded(v.Pos, o.Pos) {
 				continue // unhearable: cannot be chosen
 			}
 			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
@@ -504,7 +516,7 @@ func checkF3(ix *index, r *Result) {
 		chosen := v.Pos.Dist(hv.Pos)
 		for _, oi := range ix.headsNear(v.Pos, chosen) {
 			o := ix.heads[oi]
-			if o.Blackout {
+			if o.Blackout || ix.occluded(v.Pos, o.Pos) {
 				continue // a live associate cannot hear a down head
 			}
 			if d := v.Pos.Dist(o.Pos); d < chosen-1e-9 {
@@ -517,7 +529,9 @@ func checkF3(ix *index, r *Result) {
 
 // checkF4: every node connected to the big node is covered (is a head
 // or an associate). Connectivity is decided on the physical graph with
-// the maximum transmission range as edge length.
+// the maximum transmission range as edge length; edges an obstacle
+// occludes do not exist, so pockets of nodes an obstacle walls off from
+// the big node owe no coverage — they legitimately stay at bootup.
 func checkF4(ix *index, r *Result) {
 	cfg := ix.snap.Config
 	reach := ix.connected(ix.snap.BigID, cfg.SearchRadius())
@@ -537,8 +551,9 @@ func checkF4(ix *index, r *Result) {
 }
 
 // connected computes, for every snapshot node, whether it is connected
-// to start in the physical graph where nodes within txRange share an
-// edge; the result is indexed by position in snap.Nodes. Nodes are
+// to start in the physical graph where mutually visible nodes within
+// txRange share an edge; the result is indexed by position in
+// snap.Nodes. Nodes are
 // bucketed into a txRange-sized grid — carved from one backing array,
 // like the head grid — so each BFS hop scans only the 3×3 ring around
 // the current node instead of every node.
@@ -578,7 +593,8 @@ func (ix *index) connected(start radio.NodeID, txRange float64) []bool {
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for _, j := range grid[gridKey{base.x + dx, base.y + dy}] {
-					if !reach[j] && s.Nodes[j].Pos.Dist2(cp) <= r2 {
+					if !reach[j] && s.Nodes[j].Pos.Dist2(cp) <= r2 &&
+						!ix.occluded(cp, s.Nodes[j].Pos) {
 						reach[j] = true
 						queue = append(queue, j)
 					}
@@ -626,7 +642,7 @@ func checkMinDistTree(ix *index, r *Result) {
 		// call (next queue pop), so the scratch-backed slice is safe.
 		for _, oi := range ix.headsNear(cv.Pos, cfg.NeighborDistMax()+1e-9) {
 			o := ix.heads[oi]
-			if o.ID == cv.ID || o.Blackout {
+			if o.ID == cv.ID || o.Blackout || ix.occluded(cv.Pos, o.Pos) {
 				continue
 			}
 			if oj := ix.headNode[oi]; dist[oj] < 0 {

@@ -60,6 +60,16 @@ type Config struct {
 	// drive the cell-shift "slide" behaviour of §4.1.
 	AssociateDissipation float64
 	HeadEnergyFactor     float64
+
+	// BroadcastCost and UnicastCost are the per-transmission energy
+	// drains: each actual send during maintenance subtracts the matching
+	// cost from the sender's battery, on top of the per-sweep duty
+	// dissipation above. Both default to 0 (duty-only model); they take
+	// effect only when InitialEnergy > 0. A node whose battery a send
+	// empties dies — after the in-flight action completes, never inside
+	// it.
+	BroadcastCost float64
+	UnicastCost   float64
 }
 
 // DefaultConfig returns the parameters used throughout the paper's
@@ -103,6 +113,9 @@ func (c Config) Validate() error {
 	}
 	if c.InitialEnergy < 0 || c.AssociateDissipation < 0 || c.HeadEnergyFactor < 0 {
 		return fmt.Errorf("core: energy parameters must be non-negative")
+	}
+	if c.BroadcastCost < 0 || c.UnicastCost < 0 {
+		return fmt.Errorf("core: per-send energy costs must be non-negative")
 	}
 	return nil
 }

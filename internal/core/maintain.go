@@ -46,6 +46,14 @@ func (nw *Network) StartMaintenance(v Variant) {
 		return
 	}
 	nw.maintaining = true
+	// Per-send energy drain applies to maintenance-era traffic only:
+	// configure is energy-free by design (batteries meter the network's
+	// operating lifetime, not its setup), and installing the hook here
+	// keeps the sharded configure executor's concurrency contract — the
+	// hook mutates per-node energy, which parallel workers must not.
+	if nw.sendCostsActive() {
+		nw.med.SetSendHook(nw.drainSendEnergy)
+	}
 	interval := nw.cfg.HeartbeatInterval
 	for _, id := range nw.SortedIDs() {
 		phase := interval * float64(int(id)%17) / 17
@@ -58,6 +66,7 @@ func (nw *Network) StartMaintenance(v Variant) {
 // keeps retaining the network through dead closures.
 func (nw *Network) StopMaintenance() {
 	nw.maintaining = false
+	nw.med.SetSendHook(nil)
 	for _, b := range nw.pending {
 		nw.eng.Remove(b.handle)
 		nw.recycleBatch(b)
@@ -401,6 +410,44 @@ func (nw *Network) drainEnergy(n *Node) {
 	if cd.Energy <= 0 {
 		nw.Kill(n.ID)
 	}
+}
+
+// drainSendEnergy is the medium's send hook while per-send costs are
+// active: every actual transmission subtracts its cost from the
+// sender's battery. Depletion does not kill synchronously — the sender
+// is mid-action, often mid-broadcast, and yanking it off the medium
+// there would corrupt in-flight protocol state. Instead a zero-delay
+// energy_death event re-checks and kills after the current action
+// completes, which is also when a real node's radio would brown out.
+func (nw *Network) drainSendEnergy(sender radio.NodeID, broadcast bool) {
+	n := nw.node(sender)
+	if n == nil || n.IsBig || n.Status == StatusDead {
+		return
+	}
+	cost := nw.cfg.UnicastCost
+	if broadcast {
+		cost = nw.cfg.BroadcastCost
+	}
+	if cost == 0 {
+		return
+	}
+	cd := nw.coldOf(sender)
+	was := cd.Energy
+	cd.Energy -= cost
+	if was > 0 && cd.Energy <= 0 {
+		nw.eng.After(0, "energy_death", func() { nw.energyDeath(sender) })
+	}
+}
+
+// energyDeath finalizes a depletion detected by drainSendEnergy. It
+// re-checks both liveness and energy: the node may already be dead, or
+// a scenario may have recharged it (SetEnergy) in the meantime.
+func (nw *Network) energyDeath(id radio.NodeID) {
+	n := nw.node(id)
+	if n == nil || n.Status == StatusDead || nw.coldOf(id).Energy > 0 {
+		return
+	}
+	nw.Kill(id)
 }
 
 // lowEnergy reports whether a head should proactively retreat: it could

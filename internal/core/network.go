@@ -245,9 +245,17 @@ func (nw *Network) SetSweepCache(on bool) { nw.cacheOn = on }
 // active fault plan (loss, duplication, jitter, blackouts) or a lossy
 // broadcast model consumes randomness inside the swept queries, and
 // eliding those would shift every later draw — so chaos runs always
-// take the full path.
+// take the full path. Per-send energy costs also force the full path:
+// an elided broadcast drains no battery, so eliding would change when
+// nodes die.
 func (nw *Network) cacheable() bool {
-	return nw.cacheOn && !nw.lossy && !nw.faults.Active()
+	return nw.cacheOn && !nw.lossy && !nw.faults.Active() && !nw.sendCostsActive()
+}
+
+// sendCostsActive reports whether the per-transmission half of the
+// energy model is on: a battery to drain and a non-zero cost to charge.
+func (nw *Network) sendCostsActive() bool {
+	return nw.cfg.InitialEnergy > 0 && (nw.cfg.BroadcastCost > 0 || nw.cfg.UnicastCost > 0)
 }
 
 // touch records a protocol-state change at node id in the medium's

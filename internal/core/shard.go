@@ -212,15 +212,18 @@ func (nw *Network) conflictDist() float64 {
 // per-event timing, or mutates state outside the wave model forces the
 // serial path: an active fault plan (jitter, loss, blackouts, retry
 // timers), a lossy broadcast model, an installed protocol tracer, a
-// medium traffic trace, running maintenance sweeps, or a non-empty
-// event queue.
+// medium traffic trace, running maintenance sweeps, a non-empty event
+// queue, or installed obstacles — occlusion bends the wave geometry
+// the conflict-distance bound above assumes, so obstacle runs take the
+// serial path until that bound is re-proved for occluded media.
 func (nw *Network) shardable() bool {
 	return !nw.faults.Active() &&
 		!nw.lossy &&
 		nw.tracer == nil &&
 		!nw.med.Tracing() &&
 		!nw.maintaining &&
-		nw.eng.Pending() == 0
+		nw.eng.Pending() == 0 &&
+		len(nw.med.Obstacles()) == 0
 }
 
 // ConfigureSharded runs the full GS³-S configuration like

@@ -42,6 +42,11 @@ type Snapshot struct {
 	Config Config
 	Time   float64
 	BigID  radio.NodeID
+	// Obstacles are the medium's occluding polygons at snapshot time
+	// (shared read-only with the medium, which copies on install; nil in
+	// free space). The invariant checker consults them so clauses about
+	// what a node can hear respect the links occlusion kills.
+	Obstacles []geom.Polygon
 	// Nodes holds the views in strictly ascending ID order with dead
 	// nodes excluded. The ordering is load-bearing: View binary-searches
 	// it, and the invariant checker's indexes rely on it for
@@ -58,7 +63,7 @@ type Snapshot struct {
 // allocations regardless of node count. Empty lists stay nil, matching
 // what a per-view clone would produce.
 func (nw *Network) Snapshot() Snapshot {
-	s := Snapshot{Config: nw.cfg, Time: nw.eng.Now(), BigID: nw.bigID}
+	s := Snapshot{Config: nw.cfg, Time: nw.eng.Now(), BigID: nw.bigID, Obstacles: nw.med.Obstacles()}
 	ids := nw.SortedIDs()
 	alive, links := 0, 0
 	for _, id := range ids {

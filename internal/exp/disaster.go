@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"gs3/internal/check"
+	"gs3/internal/core"
+	"gs3/internal/geom"
+	"gs3/internal/netsim"
+	"gs3/internal/runner"
+)
+
+// DisasterSweep is the correlated-failure experiment (R2): for each
+// blast radius it drops a disaster disk on a live, maintained
+// structure — centered on the head nearest a fixed probe point, so the
+// blast always severs structure rather than grazing empty boundary —
+// and measures how long the GS³-D fixpoint takes to return and how
+// many messages the healing cost. Trials are seeded with
+// runner.TrialSeed, and the SAME trial seeds are reused across radii,
+// so the blast radius is the only thing that varies between rows.
+//
+// All (radius, trial) pairs run as one flat batch on the pool; rows
+// are aggregated in radius order, so the Table is byte-identical
+// whatever the worker count.
+func DisasterSweep(p runner.Pool, r, regionRadius float64, radii []float64, trials, budget int, seed uint64) (Table, error) {
+	t := Table{
+		ID:      "R2",
+		Title:   "Self-healing vs disaster radius (correlated failures)",
+		Columns: []string{"radius", "trials", "convergeProb", "meanKilled", "meanHeal", "maxHeal", "meanHealMsgs"},
+		Notes: []string{
+			"disaster disk centered on the head nearest the probe point (regionRadius/2, 0)",
+			"same trial seeds across radii: blast radius is the only varied factor",
+		},
+	}
+	type result struct {
+		converged bool
+		killed    int
+		healTime  float64
+		healMsgs  uint64
+	}
+	probe := geom.Point{X: regionRadius / 2}
+	n := len(radii) * trials
+	results, err := runner.Map(p, n, func(i int) (result, error) {
+		radius := radii[i/trials]
+		opt := netsim.DefaultOptions(r, regionRadius)
+		opt.Seed = runner.TrialSeed(seed, i%trials)
+		s, err := netsim.Build(opt)
+		if err != nil {
+			return result{}, err
+		}
+		if _, err := s.Configure(); err != nil {
+			return result{}, err
+		}
+		s.Net.StartMaintenance(core.VariantD)
+		s.RunSweeps(2)
+		center := probe
+		bestD := 0.0
+		for _, h := range s.Net.Snapshot().Heads() {
+			if h.IsBig {
+				continue
+			}
+			if d := h.Pos.Dist(probe); center == probe || d < bestD {
+				center, bestD = h.Pos, d
+			}
+		}
+		killed := s.KillDisk(center, radius)
+		rep := s.RunChaos(check.Dynamic, 3, budget)
+		return result{rep.Converged, killed, rep.HealTime, rep.HealMessages}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ri, radius := range radii {
+		batch := results[ri*trials : (ri+1)*trials]
+		conv, killed := 0, 0
+		sumHeal, maxHeal := 0.0, 0.0
+		var sumMsgs uint64
+		for _, res := range batch {
+			killed += res.killed
+			if res.converged {
+				conv++
+				sumHeal += res.healTime
+				sumMsgs += res.healMsgs
+				if res.healTime > maxHeal {
+					maxHeal = res.healTime
+				}
+			}
+		}
+		meanHeal, meanMsgs := 0.0, 0.0
+		if conv > 0 {
+			meanHeal = sumHeal / float64(conv)
+			meanMsgs = float64(sumMsgs) / float64(conv)
+		}
+		t.Rows = append(t.Rows, []float64{
+			radius,
+			float64(trials),
+			float64(conv) / float64(trials),
+			float64(killed) / float64(trials),
+			meanHeal,
+			maxHeal,
+			meanMsgs,
+		})
+	}
+	return t, nil
+}

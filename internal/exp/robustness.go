@@ -15,8 +15,8 @@ import (
 // lossy broadcasts, then runs maintenance with the chaos watchdog until
 // the GS³-D fixpoint holds for three consecutive sweeps or the budget
 // runs out. It reports, per loss rate, the probability of convergence,
-// healing-time statistics, and the HEAD_ORG retry work the protocol
-// spent compensating for the losses.
+// healing-time statistics, the message overhead spent healing, and the
+// HEAD_ORG retry work the protocol spent compensating for the losses.
 //
 // All (rate, trial) pairs run as one flat batch on the pool; rows are
 // aggregated in rate order, so the Table is byte-identical whatever the
@@ -25,7 +25,7 @@ func Robustness(p runner.Pool, r, regionRadius float64, lossRates []float64, tri
 	t := Table{
 		ID:      "R1",
 		Title:   "Convergence under message loss (chaos harness)",
-		Columns: []string{"loss", "trials", "convergeProb", "meanHeal", "maxHeal", "meanRetries"},
+		Columns: []string{"loss", "trials", "convergeProb", "meanHeal", "maxHeal", "meanHealMsgs", "meanRetries"},
 		Notes: []string{
 			"convergence = GS3-D fixpoint holds 3 consecutive sweeps",
 			"same trial seeds across rates: loss is the only varied factor",
@@ -34,6 +34,7 @@ func Robustness(p runner.Pool, r, regionRadius float64, lossRates []float64, tri
 	type result struct {
 		converged bool
 		healTime  float64
+		healMsgs  uint64
 		retries   uint64
 	}
 	n := len(lossRates) * trials
@@ -51,7 +52,7 @@ func Robustness(p runner.Pool, r, regionRadius float64, lossRates []float64, tri
 		}
 		s.Net.StartMaintenance(core.VariantD)
 		rep := s.RunChaos(check.Dynamic, 3, budget)
-		return result{rep.Converged, rep.HealTime, rep.Retries}, nil
+		return result{rep.Converged, rep.HealTime, rep.HealMessages, rep.Retries}, nil
 	})
 	if err != nil {
 		return Table{}, err
@@ -60,20 +61,22 @@ func Robustness(p runner.Pool, r, regionRadius float64, lossRates []float64, tri
 		batch := results[ri*trials : (ri+1)*trials]
 		conv := 0
 		sumHeal, maxHeal := 0.0, 0.0
-		var sumRetries uint64
+		var sumMsgs, sumRetries uint64
 		for _, res := range batch {
 			if res.converged {
 				conv++
 				sumHeal += res.healTime
+				sumMsgs += res.healMsgs
 				if res.healTime > maxHeal {
 					maxHeal = res.healTime
 				}
 			}
 			sumRetries += res.retries
 		}
-		meanHeal := 0.0
+		meanHeal, meanMsgs := 0.0, 0.0
 		if conv > 0 {
 			meanHeal = sumHeal / float64(conv)
+			meanMsgs = float64(sumMsgs) / float64(conv)
 		}
 		t.Rows = append(t.Rows, []float64{
 			rate,
@@ -81,6 +84,7 @@ func Robustness(p runner.Pool, r, regionRadius float64, lossRates []float64, tri
 			float64(conv) / float64(trials),
 			meanHeal,
 			maxHeal,
+			meanMsgs,
 			float64(sumRetries) / float64(trials),
 		})
 	}

@@ -55,6 +55,13 @@ type Gap struct {
 	Radius float64
 }
 
+// Obstacle is a polygonal region that both clears deployed nodes and
+// occludes radio: no node sits inside it, and links whose line of sight
+// crosses it are dead (radio.Medium consults the same polygons). Unlike
+// a Gap, an obstacle can be non-convex, so healing must route around
+// arbitrary hole shapes rather than circular ones.
+type Obstacle = geom.Polygon
+
 // Poisson generates a Poisson deployment in a disk of cfg.Radius around
 // the origin, with the big node at the exact center. It returns an error
 // for non-positive radius or density.
@@ -140,6 +147,30 @@ func WithGaps(d Deployment, gaps []Gap) Deployment {
 		}
 	}
 	return out
+}
+
+// WithObstacles returns a copy of d with nodes inside any obstacle
+// polygon removed. The big node (index 0) is never removed, mirroring
+// WithGaps: the big node anchors the structure and experiments place
+// obstacles away from it.
+func WithObstacles(d Deployment, obs []Obstacle) Deployment {
+	out := Deployment{Positions: make([]geom.Point, 0, len(d.Positions)), Radius: d.Radius}
+	out.Positions = append(out.Positions, d.Positions[0])
+	for _, p := range d.Positions[1:] {
+		if !inObstacle(p, obs) {
+			out.Positions = append(out.Positions, p)
+		}
+	}
+	return out
+}
+
+func inObstacle(p geom.Point, obs []Obstacle) bool {
+	for _, o := range obs {
+		if o.Contains(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // HasRtGap reports whether some disk of radius rt centered at one of the

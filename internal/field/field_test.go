@@ -151,6 +151,44 @@ func TestWithGaps(t *testing.T) {
 	}
 }
 
+func TestWithObstacles(t *testing.T) {
+	d, _ := Grid(10, 1, 0, nil)
+	// An L-shaped obstacle covering the center, where the big node sits.
+	obs := Obstacle{
+		{X: -3, Y: -3}, {X: 3, Y: -3}, {X: 3, Y: 0},
+		{X: 0, Y: 0}, {X: 0, Y: 3}, {X: -3, Y: 3},
+	}
+	o := WithObstacles(d, []Obstacle{obs})
+	// Big node survives even inside the obstacle.
+	if o.Big() != (geom.Point{}) {
+		t.Error("big node removed by obstacle")
+	}
+	for _, p := range o.Positions[1:] {
+		if obs.Contains(p) {
+			t.Errorf("node %v inside obstacle", p)
+		}
+	}
+	if o.N() >= d.N() {
+		t.Error("obstacle removed nothing")
+	}
+	// The notch quadrant (x,y ∈ (0,3)) is outside the L: its nodes stay.
+	kept := false
+	for _, p := range o.Positions[1:] {
+		if p.X > 0 && p.X < 3 && p.Y > 0 && p.Y < 3 {
+			kept = true
+			break
+		}
+	}
+	if !kept {
+		t.Error("non-convex notch was cleared; Contains is too coarse")
+	}
+	// Empty obstacle list is the identity (big node included).
+	id := WithObstacles(d, nil)
+	if id.N() != d.N() {
+		t.Errorf("nil obstacles changed size: %d vs %d", id.N(), d.N())
+	}
+}
+
 func TestHasRtGap(t *testing.T) {
 	d := Deployment{Positions: []geom.Point{{}, {X: 10, Y: 0}}}
 	if HasRtGap(d, geom.Point{X: 10, Y: 0}, 1) {

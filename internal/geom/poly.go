@@ -1,0 +1,103 @@
+package geom
+
+// Polygon is a simple (non-self-intersecting) polygon given by its
+// vertices in order; the closing edge from the last vertex back to the
+// first is implicit. Polygons model radio obstacles: regions that
+// block line-of-sight links and clear deployed nodes. A Polygon is
+// plain data — copy the slice to copy the polygon — and all methods
+// are pure reads, safe to call from any goroutine.
+type Polygon []Point
+
+// Valid reports whether the polygon has enough vertices to bound an
+// area.
+func (pg Polygon) Valid() bool {
+	return len(pg) >= 3
+}
+
+// Contains reports whether p lies strictly inside the polygon, by
+// even-odd ray casting. Points exactly on an edge may land on either
+// side; obstacle geometry should not be degenerate at that precision.
+func (pg Polygon) Contains(p Point) bool {
+	if !pg.Valid() {
+		return false
+	}
+	inside := false
+	n := len(pg)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg[i], pg[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			// x-coordinate where the edge crosses the horizontal through p.
+			x := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if p.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Crosses reports whether segment ab intersects any edge of the
+// polygon.
+func (pg Polygon) Crosses(a, b Point) bool {
+	if !pg.Valid() {
+		return false
+	}
+	n := len(pg)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		if SegmentsIntersect(a, b, pg[i], pg[j]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Occludes reports whether the polygon blocks the line of sight from a
+// to b: the segment crosses an edge, or lies entirely inside (both
+// endpoints in the interior, so no edge is crossed). The test is
+// symmetric in a and b by construction.
+func (pg Polygon) Occludes(a, b Point) bool {
+	return pg.Crosses(a, b) || pg.Contains(a.Midpoint(b))
+}
+
+// AnyOccludes reports whether any polygon in obs occludes the segment
+// from a to b. An empty slice occludes nothing.
+func AnyOccludes(obs []Polygon, a, b Point) bool {
+	for _, pg := range obs {
+		if pg.Occludes(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentsIntersect reports whether closed segments ab and cd share at
+// least one point, via orientation tests (collinear overlaps included).
+func SegmentsIntersect(a, b, c, d Point) bool {
+	o1 := orient(a, b, c)
+	o2 := orient(a, b, d)
+	o3 := orient(c, d, a)
+	o4 := orient(c, d, b)
+	if ((o1 > 0 && o2 < 0) || (o1 < 0 && o2 > 0)) &&
+		((o3 > 0 && o4 < 0) || (o3 < 0 && o4 > 0)) {
+		return true
+	}
+	// Collinear cases: an endpoint of one segment lies on the other.
+	return (o1 == 0 && onSegment(a, b, c)) ||
+		(o2 == 0 && onSegment(a, b, d)) ||
+		(o3 == 0 && onSegment(c, d, a)) ||
+		(o4 == 0 && onSegment(c, d, b))
+}
+
+// orient returns the sign of the signed area of triangle abc: positive
+// when c lies counter-clockwise of ray ab, negative clockwise, zero
+// collinear.
+func orient(a, b, c Point) float64 {
+	return b.Sub(a).Cross(c.Sub(a))
+}
+
+// onSegment reports whether collinear point p lies within the bounding
+// box of segment ab.
+func onSegment(a, b, p Point) bool {
+	return min(a.X, b.X) <= p.X && p.X <= max(a.X, b.X) &&
+		min(a.Y, b.Y) <= p.Y && p.Y <= max(a.Y, b.Y)
+}

@@ -1,0 +1,145 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// unitSquare is the polygon (0,0)-(4,0)-(4,4)-(0,4).
+var square = Polygon{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+
+// lShape is a non-convex polygon: a 4×4 square with the top-right 2×2
+// quadrant removed.
+var lShape = Polygon{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}
+
+func TestPolygonContains(t *testing.T) {
+	cases := []struct {
+		pg   Polygon
+		p    Point
+		want bool
+	}{
+		{square, Point{2, 2}, true},
+		{square, Point{5, 2}, false},
+		{square, Point{-1, -1}, false},
+		{square, Point{3.9, 0.1}, true},
+		{lShape, Point{1, 1}, true},
+		{lShape, Point{3, 3}, false}, // removed quadrant
+		{lShape, Point{1, 3}, true},
+		{lShape, Point{3, 1}, true},
+		{Polygon{{0, 0}, {1, 1}}, Point{0.5, 0.5}, false}, // degenerate
+		{nil, Point{0, 0}, false},
+	}
+	for i, c := range cases {
+		if got := c.pg.Contains(c.p); got != c.want {
+			t.Errorf("case %d: Contains(%v) = %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, c, d Point
+		want       bool
+	}{
+		// Proper crossing.
+		{Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0}, true},
+		// Disjoint parallel.
+		{Point{0, 0}, Point{2, 0}, Point{0, 1}, Point{2, 1}, false},
+		// Shared endpoint.
+		{Point{0, 0}, Point{2, 0}, Point{2, 0}, Point{2, 2}, true},
+		// T-junction: endpoint on interior of other segment.
+		{Point{0, 0}, Point{4, 0}, Point{2, 0}, Point{2, 2}, true},
+		// Collinear overlapping.
+		{Point{0, 0}, Point{3, 0}, Point{1, 0}, Point{4, 0}, true},
+		// Collinear disjoint.
+		{Point{0, 0}, Point{1, 0}, Point{2, 0}, Point{3, 0}, false},
+		// Near miss.
+		{Point{0, 0}, Point{1, 1}, Point{1.1, 0}, Point{2, 1}, false},
+	}
+	for i, c := range cases {
+		if got := SegmentsIntersect(c.a, c.b, c.c, c.d); got != c.want {
+			t.Errorf("case %d: SegmentsIntersect = %v, want %v", i, got, c.want)
+		}
+		// Intersection is symmetric in both segment order and endpoint
+		// order.
+		if got := SegmentsIntersect(c.c, c.d, c.a, c.b); got != c.want {
+			t.Errorf("case %d: swapped segments: got %v, want %v", i, got, c.want)
+		}
+		if got := SegmentsIntersect(c.b, c.a, c.d, c.c); got != c.want {
+			t.Errorf("case %d: reversed endpoints: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPolygonOccludes(t *testing.T) {
+	cases := []struct {
+		pg   Polygon
+		a, b Point
+		want bool
+	}{
+		// Through the square.
+		{square, Point{-1, 2}, Point{5, 2}, true},
+		// Entirely outside, passing beside it.
+		{square, Point{-1, 5}, Point{5, 5}, false},
+		// Entirely inside: no edge crossed, midpoint interior.
+		{square, Point{1, 1}, Point{3, 3}, true},
+		// One endpoint inside.
+		{square, Point{2, 2}, Point{6, 2}, true},
+		// Around the L-shape's notch: both endpoints in the removed
+		// quadrant, segment stays out of the polygon.
+		{lShape, Point{3, 3}, Point{3.5, 3.5}, false},
+		// Across the notch, clipping the inner corner region.
+		{lShape, Point{1, 3}, Point{3, 1}, true},
+		// Degenerate polygon never occludes.
+		{Polygon{{0, 0}, {1, 1}}, Point{0, 1}, Point{1, 0}, false},
+	}
+	for i, c := range cases {
+		if got := c.pg.Occludes(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Occludes(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestOccludesSymmetry is the occlusion symmetry property test: for
+// random segments against random convex-ish obstacles, A occluded from
+// B implies B occluded from A.
+func TestOccludesSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randPoly := func() Polygon {
+		// Star-shaped polygon around a random center: always simple.
+		cx, cy := rng.Float64()*10, rng.Float64()*10
+		n := 3 + rng.Intn(5)
+		pg := make(Polygon, n)
+		for i := range pg {
+			theta := 2 * math.Pi * float64(i) / float64(n)
+			r := 0.5 + rng.Float64()*3
+			pg[i] = Point{cx + r*math.Cos(theta), cy + r*math.Sin(theta)}
+		}
+		return pg
+	}
+	for trial := 0; trial < 2000; trial++ {
+		pg := randPoly()
+		a := Point{rng.Float64() * 10, rng.Float64() * 10}
+		b := Point{rng.Float64() * 10, rng.Float64() * 10}
+		if pg.Occludes(a, b) != pg.Occludes(b, a) {
+			t.Fatalf("trial %d: asymmetric occlusion: poly=%v a=%v b=%v", trial, pg, a, b)
+		}
+	}
+}
+
+func TestAnyOccludes(t *testing.T) {
+	obs := []Polygon{square, {{10, 10}, {12, 10}, {12, 12}, {10, 12}}}
+	if !AnyOccludes(obs, Point{-1, 2}, Point{5, 2}) {
+		t.Error("segment through first obstacle should be occluded")
+	}
+	if !AnyOccludes(obs, Point{9, 11}, Point{13, 11}) {
+		t.Error("segment through second obstacle should be occluded")
+	}
+	if AnyOccludes(obs, Point{-1, 6}, Point{5, 6}) {
+		t.Error("clear segment should not be occluded")
+	}
+	if AnyOccludes(nil, Point{0, 0}, Point{100, 100}) {
+		t.Error("empty obstacle set must occlude nothing")
+	}
+}

@@ -22,6 +22,12 @@ type ChaosReport struct {
 	// Retries is the number of HEAD_ORG re-issues the radio counted
 	// (radio.Stats.Retries at the end of the run).
 	Retries uint64
+	// HealMessages is the message overhead spent healing: broadcasts
+	// plus unicasts sent between the start of the run and the first
+	// sweep boundary of the winning streak — the traffic companion of
+	// HealTime (0 when the invariants already held at the start).
+	// Meaningless when !Converged.
+	HealMessages uint64
 }
 
 // RunChaos is the convergence watchdog for faulty runs: it drives
@@ -41,17 +47,25 @@ func (s *Sim) RunChaos(mode check.Mode, streak, budget int) ChaosReport {
 	}
 	var rep ChaosReport
 	start := s.Net.Engine().Now()
-	run := 0           // current consecutive-OK streak
-	streakStart := 0.0 // virtual time at which the current streak began
+	sent := func() uint64 {
+		st := s.Net.Medium().Stats()
+		return st.Broadcasts + st.Unicasts
+	}
+	startMsgs := sent()
+	run := 0                // current consecutive-OK streak
+	streakStart := 0.0      // virtual time at which the current streak began
+	streakMsgs := startMsgs // messages sent when the current streak began
 	for i := 0; i <= budget; i++ {
 		if check.Fixpoint(s.Net.Snapshot(), mode).OK() {
 			if run == 0 {
 				streakStart = s.Net.Engine().Now()
+				streakMsgs = sent()
 			}
 			run++
 			if run >= streak {
 				rep.Converged = true
 				rep.HealTime = streakStart - start
+				rep.HealMessages = streakMsgs - startMsgs
 				rep.Retries = s.Net.Medium().Stats().Retries
 				return rep
 			}

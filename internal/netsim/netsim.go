@@ -48,6 +48,12 @@ type Options struct {
 	GridJitter float64
 	// Gaps clears circular areas of the deployment.
 	Gaps []field.Gap
+	// Obstacles are polygonal regions that clear deployed nodes AND
+	// occlude radio: no node is deployed inside one, and links whose
+	// line of sight crosses one are dead, so the structure must heal
+	// around non-convex coverage holes. An empty list is free space —
+	// builds are byte-identical to pre-obstacle builds.
+	Obstacles []field.Obstacle
 
 	// Faults configures the deterministic fault injector (message loss,
 	// duplication, delay jitter, transient blackouts). The zero plan
@@ -85,6 +91,9 @@ type Sim struct {
 	Dep field.Deployment
 	Opt Options
 	Src *rng.Source
+
+	// disasterLog records executed scheduled disasters in firing order.
+	disasterLog []DisasterRecord
 }
 
 // Build creates the network (unconfigured) from the options. Every
@@ -94,8 +103,11 @@ func Build(opt Options) (*Sim, error) {
 	if err := opt.Faults.Validate(); err != nil {
 		return nil, fmt.Errorf("netsim: %w", err)
 	}
-	// Defensive copy: the caller may mutate its Gaps slice after Build.
+	// Defensive copy: the caller may mutate its Gaps or Obstacles
+	// slices after Build (the medium additionally deep-copies the
+	// polygons it keeps).
 	opt.Gaps = slices.Clone(opt.Gaps)
+	opt.Obstacles = slices.Clone(opt.Obstacles)
 	src := rng.New(opt.Seed)
 	var dep field.Deployment
 	var err error
@@ -116,9 +128,17 @@ func Build(opt Options) (*Sim, error) {
 	if len(opt.Gaps) > 0 {
 		dep = field.WithGaps(dep, opt.Gaps)
 	}
+	if len(opt.Obstacles) > 0 {
+		dep = field.WithObstacles(dep, opt.Obstacles)
+	}
 	nw, err := core.NewNetwork(opt.Config, opt.Radio, src.Fork())
 	if err != nil {
 		return nil, err
+	}
+	// Installing obstacles consumes no randomness, so obstacle-free
+	// builds draw exactly the pre-obstacle RNG sequence.
+	if len(opt.Obstacles) > 0 {
+		nw.Medium().SetObstacles(opt.Obstacles)
 	}
 	// The injector gets its own forked stream — and the fork happens
 	// only for an active plan, so zero-fault builds draw exactly the
@@ -227,10 +247,13 @@ func (s *Sim) StableQuick() bool {
 // ---- Perturbations ----
 
 // KillDisk kills every node (big node excluded) within radius of c and
-// returns how many died.
+// returns how many died. The disk is geometric — WithinDisk, not a
+// radio query — because a blast reaches nodes an obstacle would hide
+// from a transmission. The radius boundary is inclusive: a node at
+// exactly radius from c dies.
 func (s *Sim) KillDisk(c geom.Point, radius float64) int {
 	killed := 0
-	for _, id := range s.Net.Medium().WithinRange(c, radius, radio.None) {
+	for _, id := range s.Net.Medium().WithinDisk(c, radius, radio.None) {
 		if id == s.Net.BigID() {
 			continue
 		}
@@ -238,6 +261,41 @@ func (s *Sim) KillDisk(c geom.Point, radius float64) int {
 		killed++
 	}
 	return killed
+}
+
+// Disaster describes a correlated failure: at virtual time At, every
+// node (big node excluded) within Radius of Center dies at once. It is
+// KillDisk promoted to a first-class scheduled event, so a disaster
+// can strike mid-traffic and mid-maintenance.
+type Disaster struct {
+	At     float64
+	Center geom.Point
+	Radius float64
+}
+
+// DisasterRecord is one executed disaster plus its measured kill count.
+type DisasterRecord struct {
+	Disaster
+	Killed int
+}
+
+// ScheduleDisaster queues d on the engine. Scheduling consumes no
+// randomness and a zero-disaster run is byte-identical to one that
+// never called this. An At in the past is an error.
+func (s *Sim) ScheduleDisaster(d Disaster) error {
+	_, err := s.Net.Engine().At(d.At, "disaster", func() {
+		killed := s.KillDisk(d.Center, d.Radius)
+		s.disasterLog = append(s.disasterLog, DisasterRecord{Disaster: d, Killed: killed})
+	})
+	if err != nil {
+		return fmt.Errorf("netsim: disaster: %w", err)
+	}
+	return nil
+}
+
+// Disasters returns the executed disasters in firing order (read-only).
+func (s *Sim) Disasters() []DisasterRecord {
+	return s.disasterLog
 }
 
 // RepopulateDisk adds fresh bootup nodes on a triangular grid of the

@@ -50,6 +50,9 @@ var (
 	ErrOutOfRange = errors.New("receiver out of range")
 	// ErrDeliveryLost: the fault injector dropped the delivery in flight.
 	ErrDeliveryLost = errors.New("delivery lost")
+	// ErrOccluded: an obstacle blocks the line of sight between the
+	// endpoints (SetObstacles).
+	ErrOccluded = errors.New("link occluded by obstacle")
 )
 
 // NodeID identifies a node on the medium. The big node is always ID 0.
@@ -109,6 +112,11 @@ type Stats struct {
 	BlackoutDrops uint64 // deliveries lost to a blacked-out endpoint
 	Blackouts     uint64 // blackout episodes started
 	Retries       uint64 // protocol re-issues after a timeout (CountRetry)
+
+	// OcclusionBlocks counts unicasts refused because an obstacle
+	// blocked the line of sight. Broadcast receivers behind obstacles
+	// are simply never in range, so they leave no counter trail here.
+	OcclusionBlocks uint64
 }
 
 // Medium is the shared wireless medium.
@@ -144,6 +152,19 @@ type Medium struct {
 	// inj injects message faults; nil means a perfectly reliable
 	// medium (beyond BroadcastLoss).
 	inj *fault.Injector
+
+	// obstacles are opaque polygons: a link whose line of sight crosses
+	// one is dead, and range queries (hence broadcasts) do not see
+	// across them. Empty means free space — the pre-obstacle medium,
+	// bit for bit.
+	obstacles []geom.Polygon
+
+	// sendHook, when set, observes every actual transmission (one call
+	// per Broadcast or successful-send-attempt Unicast) with the sender
+	// ID. The energy model drains batteries through it. Refused sends
+	// (absent endpoint, out of range, occluded, blacked-out sender)
+	// never fire it: nothing was transmitted.
+	sendHook func(sender NodeID, broadcast bool)
 
 	// epoch is the global topology-change counter and epochs the
 	// per-bucket view of it: a bucket's entry is the epoch value at
@@ -257,6 +278,7 @@ func (m *Medium) AddStats(d Stats) {
 	m.stats.BlackoutDrops += d.BlackoutDrops
 	m.stats.Blackouts += d.Blackouts
 	m.stats.Retries += d.Retries
+	m.stats.OcclusionBlocks += d.OcclusionBlocks
 }
 
 // Sub returns the counter delta s−prev (field-wise). Meaningful when
@@ -273,6 +295,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		BlackoutDrops: s.BlackoutDrops - prev.BlackoutDrops,
 		Blackouts:     s.Blackouts - prev.Blackouts,
 		Retries:       s.Retries - prev.Retries,
+
+		OcclusionBlocks: s.OcclusionBlocks - prev.OcclusionBlocks,
 	}
 }
 
@@ -301,6 +325,57 @@ func (m *Medium) SetFaults(inj *fault.Injector) {
 // reliable).
 func (m *Medium) Faults() *fault.Injector {
 	return m.inj
+}
+
+// SetObstacles installs the opaque polygons that occlude the medium
+// (nil or empty restores free space). The slice is copied; later caller
+// mutations do not leak in. Installing obstacles is a topology change
+// with unbounded reach, so it bumps the global epoch floor.
+func (m *Medium) SetObstacles(obs []geom.Polygon) {
+	if len(obs) == 0 {
+		m.obstacles = nil
+	} else {
+		m.obstacles = make([]geom.Polygon, len(obs))
+		for i, o := range obs {
+			m.obstacles[i] = append(geom.Polygon(nil), o...)
+		}
+	}
+	m.TouchAll()
+}
+
+// Obstacles returns the installed obstacle polygons (shared, read-only;
+// nil in free space).
+func (m *Medium) Obstacles() []geom.Polygon {
+	return m.obstacles
+}
+
+// Occluded reports whether an obstacle blocks the line of sight between
+// two on-medium nodes. Absent nodes are never occluded (they are not on
+// the medium at all); with no obstacles installed it is constant false.
+// Occlusion is symmetric: Occluded(a, b) == Occluded(b, a).
+func (m *Medium) Occluded(a, b NodeID) bool {
+	if len(m.obstacles) == 0 {
+		return false
+	}
+	if !m.known(a) || !m.on[a] || !m.known(b) || !m.on[b] {
+		return false
+	}
+	return geom.AnyOccludes(m.obstacles, m.pos[a], m.pos[b])
+}
+
+// OccludedPoints reports whether an obstacle blocks the line of sight
+// between two positions, independent of any node being there. The
+// invariant checker uses it to reason about links a snapshot implies.
+func (m *Medium) OccludedPoints(a, b geom.Point) bool {
+	return len(m.obstacles) != 0 && geom.AnyOccludes(m.obstacles, a, b)
+}
+
+// SetSendHook installs fn to observe every actual transmission (nil
+// removes it). Broadcast fires it once per call; Unicast fires it once
+// per attempt that actually transmits (the sender was live, in range
+// and unoccluded — delivery may still fail at the receiver).
+func (m *Medium) SetSendHook(fn func(sender NodeID, broadcast bool)) {
+	m.sendHook = fn
 }
 
 // CountRetry records one protocol-level re-issue after a timeout. The
@@ -526,6 +601,17 @@ func (m *Medium) WithinRange(p geom.Point, dist float64, exclude NodeID) []NodeI
 	return m.WithinRangeAppend(nil, p, dist, exclude)
 }
 
+// WithinDisk returns the IDs of nodes geometrically within dist of p,
+// ignoring obstacles: it answers "who is in this disk", not "who can
+// hear a transmission from p". Disasters use it — an obstacle does not
+// shield nodes from a blast the way it blocks radio. It counts as one
+// range query, so swapping it for WithinRange in obstacle-free runs
+// leaves the stats identical.
+func (m *Medium) WithinDisk(p geom.Point, dist float64, exclude NodeID) []NodeID {
+	m.stats.RangeQueries++
+	return gridRange(m.grid, m.cellSize, nil, nil, p, dist, exclude)
+}
+
 // WithinRangeAppend appends the IDs of nodes within dist of point p —
 // excluding exclude (pass None to exclude nobody) — to dst and returns
 // the extended slice. The appended IDs are in ascending order, so with
@@ -534,7 +620,7 @@ func (m *Medium) WithinRange(p geom.Point, dist float64, exclude NodeID) []NodeI
 // allocation-free.
 func (m *Medium) WithinRangeAppend(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
 	m.stats.RangeQueries++
-	return gridRange(m.grid, m.cellSize, dst, p, dist, exclude)
+	return gridRange(m.grid, m.cellSize, m.obstacles, dst, p, dist, exclude)
 }
 
 // WithinRangeUncounted is WithinRangeAppend without the RangeQueries
@@ -544,7 +630,7 @@ func (m *Medium) WithinRangeAppend(dst []NodeID, p geom.Point, dist float64, exc
 // number of goroutines may call it concurrently as long as no writer
 // (Place, Remove, SetHeadRole, …) runs at the same time.
 func (m *Medium) WithinRangeUncounted(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
-	return gridRange(m.grid, m.cellSize, dst, p, dist, exclude)
+	return gridRange(m.grid, m.cellSize, m.obstacles, dst, p, dist, exclude)
 }
 
 // HeadsWithinRangeAppend appends the IDs of head-role nodes (see
@@ -555,18 +641,20 @@ func (m *Medium) WithinRangeUncounted(dst []NodeID, p geom.Point, dist float64, 
 // replaces on the protocol's hot paths.
 func (m *Medium) HeadsWithinRangeAppend(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
 	m.stats.RangeQueries++
-	return gridRange(m.headGrid, m.cellSize, dst, p, dist, exclude)
+	return gridRange(m.headGrid, m.cellSize, m.obstacles, dst, p, dist, exclude)
 }
 
 // HeadsWithinRangeUncounted is HeadsWithinRangeAppend without the
 // counter bump; the same pure-read concurrency contract as
 // WithinRangeUncounted applies.
 func (m *Medium) HeadsWithinRangeUncounted(dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
-	return gridRange(m.headGrid, m.cellSize, dst, p, dist, exclude)
+	return gridRange(m.headGrid, m.cellSize, m.obstacles, dst, p, dist, exclude)
 }
 
 // gridRange is the shared ring-scan kernel behind the range queries.
-func gridRange(grid map[gridKey][]gridEntry, cellSize float64, dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
+// A non-empty obs filters out candidates whose line of sight from p an
+// obstacle blocks; nil obs is the free-space (and WithinDisk) kernel.
+func gridRange(grid map[gridKey][]gridEntry, cellSize float64, obs []geom.Polygon, dst []NodeID, p geom.Point, dist float64, exclude NodeID) []NodeID {
 	// Bucket-ring bound: let c = ⌊p/cs⌋ be the query's cell on one axis.
 	// Any node q with |q−p| ≤ dist has per-axis offset |q.x−p.x| ≤ dist,
 	// and for reals a, b with b ≥ 0: ⌊a+b⌋ − ⌊a⌋ ≤ ⌈b⌉ and, symmetric-
@@ -583,6 +671,9 @@ func gridRange(grid map[gridKey][]gridEntry, cellSize float64, dst []NodeID, p g
 					continue
 				}
 				if e.pos.Dist2(p) <= r2 {
+					if len(obs) != 0 && geom.AnyOccludes(obs, p, e.pos) {
+						continue
+					}
 					dst = append(dst, e.id)
 				}
 			}
@@ -627,6 +718,9 @@ func (m *Medium) Broadcast(sender NodeID, radius float64) ([]NodeID, float64) {
 	m.stats.Broadcasts++
 	if m.trace != nil {
 		m.trace(p)
+	}
+	if m.sendHook != nil {
+		m.sendHook(sender, true)
 	}
 	m.bcast = m.WithinRangeAppend(m.bcast[:0], p, radius, sender)
 	ids := m.bcast
@@ -689,9 +783,16 @@ func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
 	if d > maxRange {
 		return 0, fmt.Errorf("radio: %d→%d distance %.3g exceeds range %.3g: %w", from, to, d, maxRange, ErrOutOfRange)
 	}
+	if len(m.obstacles) != 0 && geom.AnyOccludes(m.obstacles, pf, pt) {
+		m.stats.OcclusionBlocks++
+		return 0, fmt.Errorf("radio: %d→%d: %w", from, to, ErrOccluded)
+	}
 	m.stats.Unicasts++
 	if m.trace != nil {
 		m.trace(pf)
+	}
+	if m.sendHook != nil {
+		m.sendHook(from, false)
 	}
 	if m.InBlackout(to) {
 		m.stats.BlackoutDrops++
@@ -706,10 +807,14 @@ func (m *Medium) Unicast(from, to NodeID, maxRange float64) (float64, error) {
 }
 
 // Dist returns the distance between two on-medium nodes, or +Inf if
-// either is absent. This is the "relative location detection" primitive
-// of the system model.
+// either is absent or an obstacle occludes the pair. This is the
+// "relative location detection" primitive of the system model: a node
+// it cannot hear is a node whose relative location it cannot detect.
 func (m *Medium) Dist(a, b NodeID) float64 {
 	if !m.known(a) || !m.on[a] || !m.known(b) || !m.on[b] {
+		return math.Inf(1)
+	}
+	if len(m.obstacles) != 0 && geom.AnyOccludes(m.obstacles, m.pos[a], m.pos[b]) {
 		return math.Inf(1)
 	}
 	return m.pos[a].Dist(m.pos[b])

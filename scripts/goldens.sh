@@ -48,6 +48,10 @@ run traffic_chaos_seed4 "$bindir/gs3sim" -region 300 -r 50 -sweeps 15 \
     -blackout-sweeps 3 -churn 20 -seed 4
 run bench_quick_par "$bindir/gs3bench" -quick -seed 7 -exp A2,T3
 run bench_quick_seq "$bindir/gs3bench" -quick -seed 7 -exp A2,T3 -seq
+run disaster_seed6 "$bindir/gs3sim" -region 300 -disaster 150,80,90 \
+    -disaster-at 4 -sweeps 30 -seed 6
+run obstacle_seed8 "$bindir/gs3sim" -region 300 \
+    -obstacle "120,-80,160,-80,160,80,120,80" -sweeps 30 -seed 8
 
 if [ "$mode" = diff ]; then
     status=0
