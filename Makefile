@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke smoke fuzz-smoke chaos traffic-smoke configure-smoke adversary-smoke goldens golden-diff check
+.PHONY: all build vet test race bench bench-json bench-diff bench-smoke smoke fuzz-smoke chaos traffic-smoke configure-smoke sweep-smoke adversary-smoke goldens golden-diff check
 
 all: check
 
@@ -28,13 +28,27 @@ bench:
 
 # Archive the perf-sensitive micro/macro benchmarks into BENCH_FILE
 # under the RUN label (see cmd/benchjson). Override RUN to record a
-# different label, e.g. `make bench-json RUN=pre-pr7`.
-RUN ?= post-pr7
-BENCH_FILE ?= BENCH_PR7.json
+# different label, e.g. `make bench-json RUN=pre-pr9`.
+RUN ?= post-pr9
+BENCH_FILE ?= BENCH_PR9.json
+BENCH_PATTERN := ConfigureStructure|ConfigureSharded|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck|ServeTraffic
+# Repetitions per benchmark; benchjson keeps the fastest, so higher
+# counts tighten the noise floor on shared hosts.
+BENCH_COUNT ?= 3
 bench-json:
-	$(GO) test -bench='ConfigureStructure|ConfigureSharded|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck|ServeTraffic' \
+	$(GO) test -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) \
 		-benchmem -run='^$$' . ./internal/radio | \
 		$(GO) run ./cmd/benchjson -file $(BENCH_FILE) -run $(RUN)
+
+# Performance regression gate: re-run the archived benchmark set fresh,
+# merge it into a scratch copy of BENCH_FILE, and fail if any benchmark
+# regressed by more than 10% ns/op against the $(RUN) archive.
+bench-diff:
+	@tmp=$$(mktemp); cp $(BENCH_FILE) $$tmp; \
+	$(GO) test -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) -benchmem -run='^$$' . ./internal/radio | \
+		$(GO) run ./cmd/benchjson -file $$tmp -run fresh && \
+		$(GO) run ./cmd/benchjson -file $$tmp -diff $(RUN),fresh; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 # One iteration of every benchmark — a cheap compile-and-run gate that
 # keeps the benchmark suite from bit-rotting. -short skips the heavy
@@ -77,6 +91,14 @@ traffic-smoke:
 configure-smoke:
 	GS3_CONFIGURE_SMOKE=1 $(GO) test -race -run TestConfigureSmoke50k -v ./internal/netsim
 
+# Large-scale race gate for the sharded sweep executor: a ~56k-node
+# field converges under sharded maintenance, loses a disk two search
+# radii wide, and re-heals to the dynamic fixpoint — all under the race
+# detector, so the classify/apply phases' read-only discipline is
+# machine-checked at scale.
+sweep-smoke:
+	GS3_SWEEP_SMOKE=1 $(GO) test -race -run TestSweepSmoke56k -v ./internal/netsim
+
 # Adversarial-daemon smoke: the greedy worst-case daemon and the random
 # daemon replay the same candidate strikes on the scenario matrix; the
 # tests assert greedy healing effort >= random on every scenario.
@@ -93,4 +115,4 @@ goldens:
 golden-diff:
 	./scripts/goldens.sh diff
 
-check: build vet race bench-smoke configure-smoke golden-diff fuzz-smoke chaos traffic-smoke adversary-smoke
+check: build vet race bench-smoke configure-smoke sweep-smoke golden-diff bench-diff fuzz-smoke chaos traffic-smoke adversary-smoke

@@ -4,7 +4,10 @@
 //
 // It reads benchmark output on stdin, extracts name → {ns/op, B/op,
 // allocs/op} for every benchmark line, and merges the result into the
-// JSON file under the given run label:
+// JSON file under the given run label. When a benchmark appears more
+// than once (`go test -count=N`), the fastest repetition is kept —
+// the noise-floor estimate that makes regression thresholds usable on
+// shared hosts:
 //
 //	go test -bench='WithinRange|ConfigureStructure' -benchmem |
 //	    go run ./cmd/benchjson -file BENCH_PR2.json -run post-pr2
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -184,7 +188,7 @@ func diffRuns(doc document, oldLabel, newLabel string, threshold float64) (strin
 // i.e. name, iteration count, then unit-suffixed value pairs. The
 // -NCPU suffix is stripped from the name so labels are stable across
 // machines.
-func parseBench(r *os.File) (map[string]metric, error) {
+func parseBench(r io.Reader) (map[string]metric, error) {
 	out := map[string]metric{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -216,7 +220,15 @@ func parseBench(r *os.File) (map[string]metric, error) {
 				m.AllocsPerOp = &a
 			}
 		}
-		if m.NsPerOp >= 0 {
+		if m.NsPerOp < 0 {
+			continue
+		}
+		// With `go test -count=N` the same benchmark appears N times;
+		// keep the fastest run. The minimum is the standard noise-floor
+		// estimate — scheduler and GC interference only ever add time —
+		// and it is what makes a >10% -diff threshold usable on noisy
+		// shared hosts.
+		if prev, ok := out[name]; !ok || m.NsPerOp < prev.NsPerOp {
 			out[name] = m
 		}
 	}

@@ -67,6 +67,24 @@ func TestDiffRunsDisjointBenchmarks(t *testing.T) {
 	}
 }
 
+func TestParseBenchKeepsFastestRepetition(t *testing.T) {
+	out, err := parseBench(strings.NewReader(`
+BenchmarkA    	    1000	    150.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkA    	    1000	    120.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkA    	    1000	    140.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkB-8  	    1000	    500.0 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out["BenchmarkA"].NsPerOp; got != 120 {
+		t.Errorf("repeated benchmark: kept %v ns/op, want the 120 minimum", got)
+	}
+	if got := out["BenchmarkB"].NsPerOp; got != 500 {
+		t.Errorf("GOMAXPROCS suffix not stripped or value lost: %+v", out)
+	}
+}
+
 func TestDiffRunsUnknownLabel(t *testing.T) {
 	doc := docWith(map[string]map[string]float64{"pre": {"BenchmarkA": 1}})
 	if _, _, err := diffRuns(doc, "pre", "nope", 0.10); err == nil {

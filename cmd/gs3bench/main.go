@@ -38,9 +38,21 @@ type experiment struct {
 }
 
 // experiments returns the experiment registry. nodes parameterizes the
-// N1 scaling series: the largest target configured is nodes, with two
-// smaller decades below it for the trend.
-func experiments(nodes int) []experiment {
+// N1/N2 scaling series: the largest target configured is nodes, with
+// two smaller decades below it for the trend. shardWorkers is the
+// -workers budget for the sharded configure and sweep executors inside
+// those series; 0 falls back to the trial pool's width (-parallel),
+// then GOMAXPROCS. The printed tables are byte-identical either way.
+func experiments(nodes, shardWorkers int) []experiment {
+	executorWorkers := func(p runner.Pool) int {
+		if shardWorkers > 0 {
+			return shardWorkers
+		}
+		if p.Workers > 0 {
+			return p.Workers
+		}
+		return runtime.GOMAXPROCS(0)
+	}
 	return []experiment{
 		{"N1", "sharded configuration vs node count (largest target: -nodes)", func(p runner.Pool, seed uint64, quick bool) (string, error) {
 			targets := []int{nodes / 100, nodes / 10, nodes}
@@ -53,11 +65,28 @@ func experiments(nodes int) []experiment {
 					kept = append(kept, n)
 				}
 			}
-			workers := p.Workers
-			if workers <= 0 {
-				workers = runtime.GOMAXPROCS(0)
+			t, err := exp.ConfigureScaling(100, kept, executorWorkers(p), seed)
+			if err != nil {
+				return "", err
 			}
-			t, err := exp.ConfigureScaling(100, kept, workers, seed)
+			return t.Format(), nil
+		}},
+		{"N2", "sharded maintenance and healing vs node count (largest target: -nodes)", func(p runner.Pool, seed uint64, quick bool) (string, error) {
+			targets := []int{nodes / 100, nodes / 10, nodes}
+			if quick {
+				targets = targets[:2]
+			}
+			// The healing phase kills a disk of radius 2*SR; below ~10k
+			// nodes the deployment disk itself is barely bigger than
+			// that, so the disaster would engulf the field rather than
+			// crater it. Keep only targets where the geometry is sane.
+			kept := targets[:0]
+			for _, n := range targets {
+				if n >= 10000 {
+					kept = append(kept, n)
+				}
+			}
+			t, err := exp.SweepScaling(100, kept, executorWorkers(p), 40, seed)
 			if err != nil {
 				return "", err
 			}
@@ -317,8 +346,9 @@ func run(args []string, out *os.File) (retErr error) {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		seed     = fs.Uint64("seed", 7, "random seed")
 		quick    = fs.Bool("quick", false, "smaller parameter sweeps")
-		nodes    = fs.Int("nodes", 100000, "largest node-count target for the N1 scaling series")
+		nodes    = fs.Int("nodes", 100000, "largest node-count target for the N1/N2 scaling series")
 		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = GOMAXPROCS)")
+		workers  = fs.Int("workers", 0, "sharded-executor workers inside N1/N2 simulations (0 = -parallel, then GOMAXPROCS; output is identical either way)")
 		seq      = fs.Bool("seq", false, "run trials strictly serially (same output, slower)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -335,7 +365,7 @@ func run(args []string, out *os.File) (retErr error) {
 			retErr = perr
 		}
 	}()
-	exps := experiments(*nodes)
+	exps := experiments(*nodes, *workers)
 	if *list {
 		for _, e := range exps {
 			fmt.Fprintf(out, "%-5s %s\n", e.id, e.desc)

@@ -120,13 +120,20 @@ func (nw *Network) scheduleSweep(id radio.NodeID, delay float64) {
 // runSweepBatch fires batch b's sweeps in scheduling order. Sweeps
 // reschedule into strictly later batches (HeartbeatInterval is
 // validated positive), so the slice never grows under the iteration.
+// Large batches take the sharded executor (sweepshard.go) when a
+// worker budget is set and the run qualifies; the outcome is byte-
+// identical either way.
 func (nw *Network) runSweepBatch(b *sweepBatch, at sim.Time) {
 	if nw.batches[at] == b {
 		delete(nw.batches, at)
 	}
 	nw.unpend(b)
-	for _, id := range b.ids {
-		nw.sweep(id)
+	if nw.sweepWorkers > 1 && nw.maintaining && len(b.ids) >= minShardBatch && nw.sweepShardable() {
+		nw.runSweepBatchSharded(b.ids)
+	} else {
+		for _, id := range b.ids {
+			nw.sweep(id)
+		}
 	}
 	nw.recycleBatch(b)
 }

@@ -119,6 +119,17 @@ type Network struct {
 	batchFree   []*sweepBatch
 	batchEvents uint64
 	sweepTimers map[radio.NodeID]sim.Handle
+
+	// sweepWorkers is the worker budget of the sharded maintenance
+	// executor (sweepshard.go); ≤ 1 keeps every batch on the serial
+	// path. shardKinds, shardFull, shardStats, and shardMetrics are that
+	// executor's reusable classification and per-chunk aggregation
+	// scratch.
+	sweepWorkers int
+	shardKinds   []sweepKind
+	shardFull    []int
+	shardStats   []radio.Stats
+	shardMetrics []Metrics
 }
 
 // sweepBatch collects nodes whose maintenance sweeps were scheduled
@@ -217,6 +228,25 @@ func (m Metrics) sub(prev Metrics) Metrics {
 		ParentSeeks:    m.ParentSeeks - prev.ParentSeeks,
 		Joins:          m.Joins - prev.Joins,
 		Promotions:     m.Promotions - prev.Promotions,
+	}
+}
+
+// add returns the field-wise sum m+d. The sharded sweep executor uses
+// it to aggregate replay deltas per chunk before crediting them; all
+// fields are uint64, so chunked addition matches the serial running
+// total bit for bit.
+func (m Metrics) add(d Metrics) Metrics {
+	return Metrics{
+		HeadOrgs:       m.HeadOrgs + d.HeadOrgs,
+		HeadsSelected:  m.HeadsSelected + d.HeadsSelected,
+		ReplyMessages:  m.ReplyMessages + d.ReplyMessages,
+		HeadShifts:     m.HeadShifts + d.HeadShifts,
+		CellShifts:     m.CellShifts + d.CellShifts,
+		Abandonments:   m.Abandonments + d.Abandonments,
+		SanityRetreats: m.SanityRetreats + d.SanityRetreats,
+		ParentSeeks:    m.ParentSeeks + d.ParentSeeks,
+		Joins:          m.Joins + d.Joins,
+		Promotions:     m.Promotions + d.Promotions,
 	}
 }
 

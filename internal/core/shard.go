@@ -212,18 +212,23 @@ func (nw *Network) conflictDist() float64 {
 // per-event timing, or mutates state outside the wave model forces the
 // serial path: an active fault plan (jitter, loss, blackouts, retry
 // timers), a lossy broadcast model, an installed protocol tracer, a
-// medium traffic trace, running maintenance sweeps, a non-empty event
-// queue, or installed obstacles — occlusion bends the wave geometry
-// the conflict-distance bound above assumes, so obstacle runs take the
-// serial path until that bound is re-proved for occluded media.
+// medium traffic trace, running maintenance sweeps, or a non-empty
+// event queue. Obstacles do NOT disqualify: occlusion only filters
+// receivers out of a broadcast or range query — a blocked line of
+// sight removes a node from the result, it never admits one beyond the
+// unoccluded radius — so every read and write of a HEAD_ORG stays
+// inside the free-space envelopes the conflict-distance bound above is
+// computed from, and the bound holds a fortiori on occluded media.
+// (Occlusion's only counter, Stats.OcclusionBlocks, ticks in Unicast
+// alone, and configuration never unicasts — so sink accounting stays
+// exact too.)
 func (nw *Network) shardable() bool {
 	return !nw.faults.Active() &&
 		!nw.lossy &&
 		nw.tracer == nil &&
 		!nw.med.Tracing() &&
 		!nw.maintaining &&
-		nw.eng.Pending() == 0 &&
-		len(nw.med.Obstacles()) == 0
+		nw.eng.Pending() == 0
 }
 
 // ConfigureSharded runs the full GS³-S configuration like
@@ -252,15 +257,23 @@ func (nw *Network) ConfigureSharded(workers int) error {
 	defer func() { nw.arenaOn = true }()
 
 	L := nw.orgLatency()
-	start := nw.eng.Now()
-	waves := 0
+	// at tracks the current wave's fire time by the serial schedule:
+	// each wave's orgs fire L after their parents', and the serial
+	// engine computes that by repeated addition (Now()+L per After), so
+	// accumulate — never multiply, float64 addition does not distribute
+	// and (waves−1)·L can differ from the sum in the last ulp.
+	at := nw.eng.Now()
+	first := true
 
 	wave := []radio.NodeID{nw.bigID}
 	var sinks []*orgSink
 	var next []radio.NodeID
 	var levels []int32
 	for len(wave) > 0 {
-		waves++
+		if !first {
+			at += L
+		}
+		first = false
 		for len(sinks) < len(wave) {
 			sinks = append(sinks, &orgSink{nw: nw})
 		}
@@ -323,7 +336,7 @@ func (nw *Network) ConfigureSharded(workers int) error {
 	}
 
 	// The serial run's clock ends at the last wave's fire time.
-	nw.eng.RunUntil(start + float64(waves-1)*L)
+	nw.eng.RunUntil(at)
 	return nil
 }
 

@@ -100,10 +100,17 @@ func (nw *Network) coldOf(id radio.NodeID) *nodeCold {
 // cacheFor returns the node's quiescent-sweep cache, allocating the
 // cache array on first use (configure-only runs never call this).
 func (nw *Network) cacheFor(id radio.NodeID) *sweepCache {
+	nw.ensureCaches()
+	return &nw.caches[id]
+}
+
+// ensureCaches grows the sweep-cache slice to cover every node. The
+// sharded sweep executor calls it before its parallel phases so that
+// concurrent cache reads never race with lazy growth.
+func (nw *Network) ensureCaches() {
 	for len(nw.caches) < len(nw.nodes) {
 		nw.caches = append(nw.caches, sweepCache{})
 	}
-	return &nw.caches[id]
 }
 
 // Reserve pre-sizes the store (and the medium's per-node state) for n

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"sync"
+
+	"gs3/internal/radio"
+)
+
+// This file implements the sharded maintenance executor: one sweep
+// batch (all nodes of one heartbeat phase, see scheduleSweep) executed
+// with a parallel classification phase and a serial merge, byte-
+// identical to draining the batch one node at a time for any worker
+// count.
+//
+// Conflict leveling à la ConfigureSharded does not transfer to sweeps
+// directly: a batch's members share an ID residue class (id mod 17),
+// so they tile the whole field densely and conflict-distance coloring
+// would degenerate to near-serial levels. What does transfer is the
+// quiescence machinery of the sweep cache (maintain.go): in a settled
+// network almost every sweep is a recorded replay whose entire effect
+// is private per-node state (sweep counter, energy, cache stamp) plus
+// commutative uint64 counter increments — replays cannot conflict with
+// each other at all. The executor therefore splits a batch as:
+//
+//  1. Classify (parallel, read-only): every node's sweep outcome is
+//     predicted against the pre-batch state — skip (dead), blackout
+//     (reschedule only), replay (the quiescentSweep conditions hold,
+//     in the plain or rescan flavor), or full (everything else,
+//     including the big node, imminent energy death, and any node
+//     whose cache cannot prove quiescence). Classification only reads,
+//     so chunks of the batch classify concurrently.
+//  2. Apply. If no node classified full — the settled steady state —
+//     a second parallel pass performs the replays' private writes on
+//     disjoint per-node state and aggregates their counter deltas per
+//     chunk; the deltas (all uint64, so addition commutes exactly) are
+//     credited chunk-by-chunk and every surviving node is rescheduled
+//     in batch order, reproducing the serial engine schedule.
+//  3. Merge (serial, only when healing is present): nodes run in batch
+//     order. Full nodes execute the ordinary serial sweep — head
+//     replacement, HEAD_ORG re-election, boundary rescans, all of it —
+//     and every state change they make bumps a topology epoch bucket
+//     (the invariant the sweep cache already depends on). A replay
+//     node therefore stays on the fast path exactly when no bucket in
+//     its query cone was bumped since the batch began
+//     (Medium.RegionChangedSince); otherwise it escalates to the full
+//     serial sweep, which re-derives the correct answer by
+//     construction. Healing thus serializes only its own conflict
+//     region — the cones that saw a mutation — never the whole batch.
+//
+// The gate (sweepShardable) mirrors cacheable(): active faults, lossy
+// radio, per-send energy costs, tracers, and traffic traces all either
+// consume per-event randomness or observe per-event detail, and force
+// the serial path.
+
+// sweepKind is one node's predicted sweep outcome.
+type sweepKind uint8
+
+const (
+	sweepSkip         sweepKind = iota // dead or absent: no work, no reschedule
+	sweepBlackout                      // radio down: reschedule only
+	sweepReplayPlain                   // quiescent: replay the plain flavor
+	sweepReplayRescan                  // quiescent: replay the rescan flavor
+	sweepFull                          // must run the full serial sweep body
+)
+
+// minShardBatch is the smallest batch worth the executor's two-phase
+// overhead, and minShardChunk the smallest per-goroutine chunk; below
+// either, the batch drains serially.
+const (
+	minShardBatch = 32
+	minShardChunk = 16
+)
+
+// SetSweepWorkers sets the worker budget of the sharded maintenance
+// executor: sweep batches of at least minShardBatch nodes classify
+// (and, when fully settled, apply) on up to workers goroutines. Any
+// value ≤ 1 keeps every batch on the serial path. The run's outcome —
+// node state, snapshot bytes, stats, metrics, topology epochs, engine
+// schedule — is byte-identical for every workers value; only wall
+// clock changes.
+func (nw *Network) SetSweepWorkers(workers int) {
+	nw.sweepWorkers = workers
+}
+
+// SweepWorkers returns the configured sharded-sweep worker budget.
+func (nw *Network) SweepWorkers() int { return nw.sweepWorkers }
+
+// sweepShardable reports whether sweep batches may take the sharded
+// path at all. The conditions are cacheable()'s — the executor elides
+// exactly the work the quiescence cache elides, so anything that
+// consumes per-query randomness (faults, lossy radio) or couples
+// side effects to elided sends (per-send energy) disqualifies — plus
+// the absence of observers that record per-event detail the replay
+// fast path would skip (protocol tracer, traffic trace). An inactive
+// fault plan also guarantees jitter-free batching and no blackout-
+// start dice, which classification relies on.
+func (nw *Network) sweepShardable() bool {
+	return nw.sweepWorkers > 1 &&
+		nw.cacheable() &&
+		nw.tracer == nil &&
+		!nw.med.Tracing()
+}
+
+// classifySweep predicts node id's sweep outcome against the current
+// network state without mutating anything: it mirrors sweepOnce's
+// decision chain (blackout check, energy drain, quiescentSweep) using
+// the post-drain energy and post-increment sweep counter the serial
+// sweep would see. It is a pure read, safe to run concurrently for
+// any set of nodes.
+func (nw *Network) classifySweep(id radio.NodeID) sweepKind {
+	n := nw.node(id)
+	if n == nil || n.Status == StatusDead {
+		return sweepSkip
+	}
+	if nw.med.InBlackout(id) {
+		return sweepBlackout
+	}
+	// No blackout-start dice: sweepShardable() implies an inactive
+	// fault plan, under which BlackoutStart is constant false and
+	// consumes no randomness.
+	if n.IsBig {
+		return sweepFull
+	}
+	cd := &nw.cold[id]
+	next := cd.sweep + 1
+	isHead := n.Status.IsHeadRole()
+	energy := cd.Energy
+	if nw.cfg.InitialEnergy > 0 {
+		rate := nw.cfg.AssociateDissipation
+		if isHead {
+			rate *= nw.cfg.HeadEnergyFactor
+		}
+		energy -= rate * nw.cfg.HeartbeatInterval
+		if energy <= 0 {
+			return sweepFull // dies this sweep; Kill bumps epochs
+		}
+	}
+	c := &nw.caches[id]
+	kind := sweepReplayPlain
+	if isHead {
+		if cd.pendingChildRepair {
+			return sweepFull
+		}
+		if nw.cfg.InitialEnergy > 0 &&
+			energy <= nw.cfg.AssociateDissipation*nw.cfg.HeadEnergyFactor*nw.cfg.HeartbeatInterval {
+			return sweepFull // lowEnergy retreat is due
+		}
+		if !c.sane && next%nw.cfg.SanityCheckEvery == 0 {
+			return sweepFull
+		}
+		if next%nw.cfg.BoundaryRescanEvery == 0 {
+			kind = sweepReplayRescan
+		}
+	}
+	d := &c.plain
+	if kind == sweepReplayRescan {
+		d = &c.rescan
+	}
+	if !d.valid {
+		return sweepFull
+	}
+	if nw.med.Epoch() != c.worldStamp {
+		if nw.med.RegionEpoch(nw.Position(id), nw.coneRadius(isHead)) != c.regionStamp {
+			return sweepFull
+		}
+	}
+	return kind
+}
+
+// applySweepReplay performs the private half of one replayed sweep —
+// the sweep counter, the duty-cycle energy drain, and the world-stamp
+// refresh — and returns the recorded delta to credit. Every write
+// lands in state owned by node id, so replays for distinct ids may
+// apply concurrently. The rescan flavor's remaining side effects (the
+// HEAD_ORG trace event and two footprint sends) are no-ops under the
+// sweepShardable gate, which excludes tracers and traffic traces.
+func (nw *Network) applySweepReplay(id radio.NodeID, kind sweepKind, world uint64) *sweepDelta {
+	cd := &nw.cold[id]
+	cd.sweep++
+	if nw.cfg.InitialEnergy > 0 {
+		rate := nw.cfg.AssociateDissipation
+		if nw.nodes[id].Status.IsHeadRole() {
+			rate *= nw.cfg.HeadEnergyFactor
+		}
+		cd.Energy -= rate * nw.cfg.HeartbeatInterval
+	}
+	c := &nw.caches[id]
+	c.worldStamp = world
+	if kind == sweepReplayRescan {
+		return &c.rescan
+	}
+	return &c.plain
+}
+
+// runSweepBatchSharded drains batch ids through the classify/apply/
+// merge pipeline described at the top of the file. The caller has
+// verified sweepShardable() and the minimum batch size.
+func (nw *Network) runSweepBatchSharded(ids []radio.NodeID) {
+	// cacheFor grows the cache slice lazily; grow it up front so the
+	// parallel phases below never append to shared slices.
+	nw.ensureCaches()
+
+	chunks := nw.sweepWorkers
+	if m := len(ids) / minShardChunk; chunks > m {
+		chunks = m
+	}
+
+	kinds := nw.shardKinds
+	if cap(kinds) < len(ids) {
+		kinds = make([]sweepKind, len(ids))
+	}
+	kinds = kinds[:len(ids)]
+	nw.shardKinds = kinds
+	for cap(nw.shardFull) < chunks {
+		nw.shardFull = append(nw.shardFull[:cap(nw.shardFull)], 0)
+	}
+	fulls := nw.shardFull[:chunks]
+
+	// Phase 1: parallel read-only classification over contiguous chunks.
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*len(ids)/chunks, (c+1)*len(ids)/chunks
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			nFull := 0
+			for i := lo; i < hi; i++ {
+				k := nw.classifySweep(ids[i])
+				kinds[i] = k
+				if k == sweepFull {
+					nFull++
+				}
+			}
+			fulls[c] = nFull
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	totalFull := 0
+	for _, f := range fulls {
+		totalFull += f
+	}
+
+	if totalFull > 0 {
+		nw.mergeSweepBatch(ids, kinds)
+		return
+	}
+
+	// Phase 2, settled steady state: every node replays (or is skipped /
+	// blacked out). The private writes are disjoint per node, so chunks
+	// apply concurrently; the counter deltas are all uint64, so the
+	// chunk-ordered credit below sums to exactly the serial totals.
+	world := nw.med.Epoch()
+	for cap(nw.shardStats) < chunks {
+		nw.shardStats = append(nw.shardStats[:cap(nw.shardStats)], radio.Stats{})
+	}
+	for cap(nw.shardMetrics) < chunks {
+		nw.shardMetrics = append(nw.shardMetrics[:cap(nw.shardMetrics)], Metrics{})
+	}
+	stats := nw.shardStats[:chunks]
+	metrics := nw.shardMetrics[:chunks]
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*len(ids)/chunks, (c+1)*len(ids)/chunks
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var st radio.Stats
+			var mt Metrics
+			for i := lo; i < hi; i++ {
+				if kinds[i] != sweepReplayPlain && kinds[i] != sweepReplayRescan {
+					continue
+				}
+				d := nw.applySweepReplay(ids[i], kinds[i], world)
+				st = st.Add(d.stats)
+				mt = mt.add(d.metrics)
+			}
+			stats[c] = st
+			metrics[c] = mt
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	for c := 0; c < chunks; c++ {
+		nw.med.AddStats(stats[c])
+		nw.addMetrics(metrics[c])
+	}
+	// Reschedule in batch order. No replay schedules any other event,
+	// so the reschedules coalesce into batches exactly as the serial
+	// per-node loop would have coalesced them.
+	for i, id := range ids {
+		if kinds[i] != sweepSkip {
+			nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+		}
+	}
+}
+
+// mergeSweepBatch is the serial merge for a batch with healing in it:
+// nodes run in batch order; full nodes take the ordinary serial sweep
+// (mutations, reschedules, follow-up events — everything exactly as
+// serial), and replay-classified nodes stay on the fast path unless a
+// mutation since the batch began touched their query cone, in which
+// case they escalate to the serial sweep too. Escalation is sound in
+// both directions: an untouched cone means the classification's inputs
+// are bit-for-bit unchanged (every cross-node protocol write bumps an
+// epoch bucket at the written node, inside any cone that could read
+// it), and the serial sweep a touched node falls back to re-derives
+// its outcome from live state by construction.
+func (nw *Network) mergeSweepBatch(ids []radio.NodeID, kinds []sweepKind) {
+	e0 := nw.med.Epoch()
+	for i, id := range ids {
+		switch kinds[i] {
+		case sweepSkip:
+		case sweepFull:
+			nw.sweep(id)
+		case sweepBlackout:
+			// A blacked-out node does nothing regardless of what healing
+			// rewrote around (or on) it, so it never needs to escalate.
+			nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+		default:
+			if nw.med.Epoch() != e0 {
+				isHead := nw.nodes[id].Status.IsHeadRole()
+				if nw.med.RegionChangedSince(nw.Position(id), nw.coneRadius(isHead), e0) {
+					nw.sweep(id)
+					continue
+				}
+			}
+			d := nw.applySweepReplay(id, kinds[i], nw.med.Epoch())
+			nw.med.AddStats(d.stats)
+			nw.addMetrics(d.metrics)
+			nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
+		}
+	}
+}

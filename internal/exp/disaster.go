@@ -24,10 +24,11 @@ func DisasterSweep(p runner.Pool, r, regionRadius float64, radii []float64, tria
 	t := Table{
 		ID:      "R2",
 		Title:   "Self-healing vs disaster radius (correlated failures)",
-		Columns: []string{"radius", "trials", "convergeProb", "meanKilled", "meanHeal", "maxHeal", "meanHealMsgs"},
+		Columns: []string{"radius", "trials", "convergeProb", "meanKilled", "meanHeal", "maxHeal", "meanHealMsgs", "meanJoined", "repopProb", "meanRepopHeal"},
 		Notes: []string{
 			"disaster disk centered on the head nearest the probe point (regionRadius/2, 0)",
 			"same trial seeds across radii: blast radius is the only varied factor",
+			"repop columns: after healing, the crater is repopulated on the deployment grid (RepopulateDisk) and the fixpoint must absorb the joiners",
 		},
 	}
 	type result struct {
@@ -35,6 +36,9 @@ func DisasterSweep(p runner.Pool, r, regionRadius float64, radii []float64, tria
 		killed    int
 		healTime  float64
 		healMsgs  uint64
+		joined    int
+		repopOK   bool
+		repopHeal float64
 	}
 	probe := geom.Point{X: regionRadius / 2}
 	n := len(radii) * trials
@@ -63,7 +67,20 @@ func DisasterSweep(p runner.Pool, r, regionRadius float64, radii []float64, tria
 		}
 		killed := s.KillDisk(center, radius)
 		rep := s.RunChaos(check.Dynamic, 3, budget)
-		return result{rep.Converged, killed, rep.HealTime, rep.HealMessages}, nil
+		res := result{converged: rep.Converged, killed: killed,
+			healTime: rep.HealTime, healMsgs: rep.HealMessages}
+		// Repopulation-aware recovery: refill the crater on the same
+		// grid pitch the field was deployed with and require the
+		// dynamic fixpoint to absorb the joiners. Only measured when
+		// the kill itself healed — repopulating an unconverged wreck
+		// would fold two failure modes into one column.
+		if rep.Converged {
+			res.joined = len(s.RepopulateDisk(center, radius, opt.GridSpacing))
+			rerep := s.RunChaos(check.Dynamic, 3, budget)
+			res.repopOK = rerep.Converged
+			res.repopHeal = rerep.HealTime
+		}
+		return res, nil
 	})
 	if err != nil {
 		return Table{}, err
@@ -73,6 +90,8 @@ func DisasterSweep(p runner.Pool, r, regionRadius float64, radii []float64, tria
 		conv, killed := 0, 0
 		sumHeal, maxHeal := 0.0, 0.0
 		var sumMsgs uint64
+		joined, repopOK := 0, 0
+		sumRepopHeal := 0.0
 		for _, res := range batch {
 			killed += res.killed
 			if res.converged {
@@ -82,12 +101,22 @@ func DisasterSweep(p runner.Pool, r, regionRadius float64, radii []float64, tria
 				if res.healTime > maxHeal {
 					maxHeal = res.healTime
 				}
+				joined += res.joined
+				if res.repopOK {
+					repopOK++
+					sumRepopHeal += res.repopHeal
+				}
 			}
 		}
-		meanHeal, meanMsgs := 0.0, 0.0
+		meanHeal, meanMsgs, meanJoined, repopProb, meanRepopHeal := 0.0, 0.0, 0.0, 0.0, 0.0
 		if conv > 0 {
 			meanHeal = sumHeal / float64(conv)
 			meanMsgs = float64(sumMsgs) / float64(conv)
+			meanJoined = float64(joined) / float64(conv)
+			repopProb = float64(repopOK) / float64(conv)
+		}
+		if repopOK > 0 {
+			meanRepopHeal = sumRepopHeal / float64(repopOK)
 		}
 		t.Rows = append(t.Rows, []float64{
 			radius,
@@ -97,6 +126,9 @@ func DisasterSweep(p runner.Pool, r, regionRadius float64, radii []float64, tria
 			meanHeal,
 			maxHeal,
 			meanMsgs,
+			meanJoined,
+			repopProb,
+			meanRepopHeal,
 		})
 	}
 	return t, nil

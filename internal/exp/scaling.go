@@ -3,8 +3,12 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
+	"gs3/internal/check"
 	"gs3/internal/core"
+	"gs3/internal/geom"
 	"gs3/internal/netsim"
 	"gs3/internal/radio"
 	"gs3/internal/runner"
@@ -158,6 +162,111 @@ func ConfigureScaling(r float64, targets []int, workers int, seed uint64) (Table
 			float64(heads),
 			float64(bootup),
 			float64(s.Net.Medium().Stats().Broadcasts) / n,
+		})
+	}
+	return t, nil
+}
+
+// SweepScaling is experiment N2: steady-state maintenance and healing
+// cost versus network size, run through the sharded sweep executor
+// (byte-identical to the serial engine, so every protocol observable
+// is deterministic; only wall clock depends on workers). For each
+// node-count target it configures sharded, settles the structure, then
+// reports the wall-clock cost of one settled maintenance round, the
+// live heap, and the cost of healing a two-search-radius disaster:
+// virtual rounds and wall seconds until the structure re-stabilizes,
+// and the radio messages the healing took. Wall-clock columns vary
+// with the host; the protocol columns (n, healRounds, healMsgs) do
+// not. Targets run sequentially — each trial is large, and the
+// parallelism lives inside the executor.
+func SweepScaling(r float64, targets []int, workers, budget int, seed uint64) (Table, error) {
+	t := Table{
+		ID:      "N2",
+		Title:   "Sharded maintenance and healing vs node count",
+		Columns: []string{"n", "settleRounds", "roundMs", "heapMB", "killed", "healRounds", "healMs", "healMsgsPerKilled"},
+		Notes: []string{
+			fmt.Sprintf("sharded sweep executor, %d workers; protocol observables identical for any worker count", workers),
+			"disaster: KillDisk of radius 2*SR at (regionRadius/2, 0) on the settled structure",
+			"healMsgsPerKilled is the excess over the field's measured per-round background traffic",
+			"roundMs/healMs are wall clock (host-dependent); crater repair is message-local (excess ~0 at every scale)",
+			"healRounds counts to the full dynamic fixpoint, which includes min-hop re-convergence across the crater's routing shadow — that grows with field radius, not crater size",
+		},
+	}
+	for _, target := range targets {
+		opt := netsim.DefaultOptions(r, RegionRadiusFor(target, netsim.DefaultOptions(r, 1).GridSpacing))
+		opt.Seed = seed
+		opt.SweepWorkers = workers
+		s, err := netsim.Build(opt)
+		if err != nil {
+			return Table{}, err
+		}
+		if _, err := s.ConfigureSharded(workers); err != nil {
+			return Table{}, err
+		}
+		s.Net.StartMaintenance(core.VariantD)
+		// Settle to the full dynamic fixpoint — not the cheap stability
+		// predicate — then a few more rounds so every sweep cache is
+		// recorded. Anything less and the healing window below would
+		// also absorb the tail of the field's own global convergence,
+		// inflating healRounds with n.
+		settleStart := s.Net.Engine().Now()
+		if _, err := s.RunToFixpoint(check.Dynamic, budget); err != nil {
+			return Table{}, err
+		}
+		s.RunSweeps(3)
+		settleRounds := (s.Net.Engine().Now() - settleStart) / opt.Config.HeartbeatInterval
+
+		const timedRounds = 3
+		timedStats := s.Net.Medium().Stats()
+		wallStart := time.Now()
+		s.RunSweeps(timedRounds)
+		roundMs := float64(time.Since(wallStart).Milliseconds()) / timedRounds
+		// Background radio traffic of one settled round (boundary
+		// rescans etc.), measured so the healing column can report the
+		// *excess* messages the repair cost rather than the whole
+		// field's steady-state chatter over the healing window.
+		timedDelta := s.Net.Medium().Stats().Sub(timedStats)
+		baseline := float64(timedDelta.Broadcasts+timedDelta.Unicasts) / timedRounds
+
+		runtime.GC()
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		heapMB := float64(mem.HeapAlloc) / (1 << 20)
+
+		c := geom.Point{X: opt.RegionRadius / 2}
+		preStats := s.Net.Medium().Stats()
+		preNow := s.Net.Engine().Now()
+		healStart := time.Now()
+		killed := s.KillDisk(c, 2*opt.Config.SearchRadius())
+		// Healing must be judged by the full dynamic fixpoint, not the
+		// cheap stability predicate: orphaned associates keep their role
+		// bits until a sweep notices the dead head, so the quick check
+		// would report an instant (vacuous) recovery.
+		if _, err := s.RunToFixpoint(check.Dynamic, budget); err != nil {
+			return Table{}, err
+		}
+		healMs := float64(time.Since(healStart).Milliseconds())
+		healRounds := (s.Net.Engine().Now() - preNow) / opt.Config.HeartbeatInterval
+		post := s.Net.Medium().Stats().Sub(preStats)
+		healMsgs := float64(post.Broadcasts+post.Unicasts) - baseline*healRounds
+		if healMsgs < 0 {
+			healMsgs = 0
+		}
+
+		n := float64(s.Net.Medium().Count())
+		perKilled := 0.0
+		if killed > 0 {
+			perKilled = healMsgs / float64(killed)
+		}
+		t.Rows = append(t.Rows, []float64{
+			n + float64(killed), // deployed size (Count excludes the dead)
+			settleRounds,
+			roundMs,
+			heapMB,
+			float64(killed),
+			healRounds,
+			healMs,
+			perKilled,
 		})
 	}
 	return t, nil

@@ -14,8 +14,11 @@ import (
 )
 
 // shardScenarios mirrors the golden corpus's deployment shapes: dense
-// grids at two scales, a gapped field (Rt-gap boundary cells), and a
-// Poisson deployment. All are fault-free — the shardable cases.
+// grids at two scales, a gapped field (Rt-gap boundary cells), a
+// Poisson deployment, and an obstacle field (occluded radio — legal
+// since occlusion only shrinks interference neighborhoods, so the
+// conflict-distance bound still holds; see shardable()). All are
+// fault-free — the shardable cases.
 func shardScenarios() map[string]Options {
 	gapped := DefaultOptions(100, 400)
 	gapped.Gaps = []field.Gap{
@@ -26,11 +29,19 @@ func shardScenarios() map[string]Options {
 	poisson.GridSpacing = 0
 	poisson.Lambda = 0.012
 	poisson.Seed = 11
+	obstacle := DefaultOptions(100, 380)
+	obstacle.Obstacles = []field.Obstacle{
+		// An L-shaped wall off-center: non-convex occlusion with nodes
+		// on every side of it.
+		{{X: 40, Y: -160}, {X: 110, Y: -160}, {X: 110, Y: 60}, {X: -120, Y: 60},
+			{X: -120, Y: 130}, {X: 40, Y: 130}},
+	}
 	return map[string]Options{
 		"grid_small": DefaultOptions(100, 300),
 		"grid_dense": DefaultOptions(60, 420),
 		"gapped":     gapped,
 		"poisson":    poisson,
+		"obstacle":   obstacle,
 	}
 }
 

@@ -1,0 +1,265 @@
+package netsim
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"gs3/internal/check"
+	"gs3/internal/core"
+	"gs3/internal/fault"
+	"gs3/internal/field"
+	"gs3/internal/geom"
+	"gs3/internal/rng"
+)
+
+// The sharded sweep executor is an optimization, never a semantics
+// change: a run with any worker count must be observably identical —
+// snapshot, metrics, radio stats, virtual clock — to the serial engine
+// at every sweep boundary, under any perturbation schedule, including
+// schedules that force healing mid-batch. The tests here drive a
+// serial and a sharded build in lock-step and fail on the first
+// boundary where any observable diverges. Run them under -race: the
+// parallel phases' read-only discipline is part of what's being
+// verified.
+
+// shardSweepWorkers is the worker budget the sharded builds use. More
+// workers than cores is deliberate — correctness must not depend on
+// the schedule.
+const shardSweepWorkers = 8
+
+// randomShardScript draws a perturbation schedule exercising every
+// classification kind of the executor: disk kills and repopulations
+// (healing escalation), node moves (epoch invalidation), and direct
+// radio blackouts with paired restores (the reschedule-only kind —
+// induced via Medium.SetBlackout, not the fault layer, because an
+// active fault plan would disqualify the sharded path entirely).
+func randomShardScript(opt Options, seed uint64, sweeps int) []propStep {
+	script := randomScript(opt, seed, sweeps)
+	src := rng.New(seed ^ 0x9e3779b97f4a7c15)
+	n := 2 + src.Intn(2)
+	for i := 0; i < n; i++ {
+		at := 2 + src.Intn(sweeps-6)
+		k := src.Intn(40)
+		script = append(script,
+			propStep{at, "blackout", func(s *Sim) {
+				ids := s.Net.SortedIDs()
+				for off := 0; off < len(ids); off++ {
+					id := ids[(k+off)%len(ids)]
+					if id != s.Net.BigID() && s.Net.Alive(id) && !s.Net.Medium().InBlackout(id) {
+						s.Net.Medium().SetBlackout(id, true)
+						return
+					}
+				}
+			}},
+			propStep{at + 3, "restore", func(s *Sim) {
+				for _, id := range s.Net.SortedIDs() {
+					if s.Net.Medium().InBlackout(id) {
+						s.Net.Medium().SetBlackout(id, false)
+						return
+					}
+				}
+			}},
+		)
+	}
+	return script
+}
+
+// runShardSweepEquivalence drives a serial and a sharded build of opt
+// in lock-step through the script and fails on the first boundary
+// where any observable diverges.
+func runShardSweepEquivalence(t *testing.T, opt Options, variant core.Variant, script []propStep, sweeps int) {
+	t.Helper()
+	build := func(workers int) *Sim {
+		o := opt
+		o.SweepWorkers = workers
+		s, err := Build(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Configure(); err != nil {
+			t.Fatal(err)
+		}
+		s.Net.StartMaintenance(variant)
+		return s
+	}
+	serial := build(0)
+	sharded := build(shardSweepWorkers)
+
+	for i := 0; i < sweeps; i++ {
+		for _, st := range script {
+			if st.sweep == i {
+				st.apply(serial)
+				st.apply(sharded)
+			}
+		}
+		serial.RunSweeps(1)
+		sharded.RunSweeps(1)
+
+		if a, b := serial.Net.Engine().Now(), sharded.Net.Engine().Now(); a != b {
+			t.Fatalf("sweep %d: clock diverged: serial %v, sharded %v", i, a, b)
+		}
+		if a, b := serial.Net.Metrics(), sharded.Net.Metrics(); a != b {
+			t.Fatalf("sweep %d: metrics diverged:\nserial  %+v\nsharded %+v", i, a, b)
+		}
+		if a, b := serial.Net.Medium().Stats(), sharded.Net.Medium().Stats(); a != b {
+			t.Fatalf("sweep %d: radio stats diverged:\nserial  %+v\nsharded %+v", i, a, b)
+		}
+		if a, b := serial.Net.Medium().Epoch(), sharded.Net.Medium().Epoch(); a != b {
+			t.Fatalf("sweep %d: topology epoch diverged: serial %d, sharded %d", i, a, b)
+		}
+		sa, sb := serial.Net.Snapshot(), sharded.Net.Snapshot()
+		if !reflect.DeepEqual(sa, sb) {
+			for j := range sa.Nodes {
+				if j >= len(sb.Nodes) || !reflect.DeepEqual(sa.Nodes[j], sb.Nodes[j]) {
+					t.Fatalf("sweep %d: snapshot diverged at node index %d:\nserial  %+v\nsharded %+v",
+						i, j, sa.Nodes[j], sb.Nodes[j])
+				}
+			}
+			t.Fatalf("sweep %d: snapshot diverged (node count %d vs %d)",
+				i, len(sa.Nodes), len(sb.Nodes))
+		}
+	}
+}
+
+// shardSweepOptions is a field large enough that every heartbeat batch
+// (one per ID residue class mod 17) clears the executor's minimum
+// batch size.
+func shardSweepOptions(seed uint64) Options {
+	opt := DefaultOptions(100, 320)
+	opt.Seed = seed
+	return opt
+}
+
+// TestShardedSweepMatchesSerial is the main property: across randomized
+// topologies and perturbation schedules — kills, joins, moves, and
+// blackouts every few rounds — the sharded build is boundary-for-
+// boundary identical to the serial one.
+func TestShardedSweepMatchesSerial(t *testing.T) {
+	const sweeps = 30
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			opt := shardSweepOptions(seed)
+			opt.GridJitter = 0.1 + 0.05*float64(seed%3)
+			script := randomShardScript(opt, seed*13+5, sweeps)
+			runShardSweepEquivalence(t, opt, core.VariantD, script, sweeps)
+		})
+	}
+}
+
+// TestShardedSweepMatchesSerialMobile exercises Variant M: the big node
+// relocates mid-run, so the batch holding it always carries a full
+// (never cacheable) sweep and the merge path runs every round.
+func TestShardedSweepMatchesSerialMobile(t *testing.T) {
+	const sweeps = 30
+	opt := shardSweepOptions(3)
+	script := randomShardScript(opt, 99, sweeps)
+	script = append(script,
+		propStep{5, "big-slide", func(s *Sim) {
+			p := s.Net.Position(s.Net.BigID())
+			s.Net.Move(s.Net.BigID(), p.Add(geom.Vec{X: opt.Config.Rt * 0.8}))
+		}},
+		propStep{14, "big-move", func(s *Sim) {
+			s.Net.Move(s.Net.BigID(), geom.Point{X: -140, Y: 100})
+		}},
+	)
+	runShardSweepEquivalence(t, opt, core.VariantM, script, sweeps)
+}
+
+// TestShardedSweepMatchesSerialEnergy turns on the duty-cycle energy
+// model (no per-send costs, which would disqualify sharding): heads
+// drain five times faster, retreat when low, and nodes die at sweep
+// boundaries — the energy-death escalation path.
+func TestShardedSweepMatchesSerialEnergy(t *testing.T) {
+	const sweeps = 30
+	opt := shardSweepOptions(17)
+	opt.Config.InitialEnergy = 60
+	script := randomShardScript(opt, 23, sweeps)
+	runShardSweepEquivalence(t, opt, core.VariantD, script, sweeps)
+}
+
+// TestShardedSweepMatchesSerialObstacle runs the equivalence on an
+// occluded field: obstacles qualify for both sharded executors now
+// (occlusion only shrinks interference neighborhoods), so the sharded
+// maintenance path must match serial around a wall too.
+func TestShardedSweepMatchesSerialObstacle(t *testing.T) {
+	const sweeps = 25
+	opt := shardSweepOptions(29)
+	opt.Obstacles = []field.Obstacle{
+		{{X: 30, Y: -140}, {X: 90, Y: -140}, {X: 90, Y: 50}, {X: -100, Y: 50},
+			{X: -100, Y: 110}, {X: 30, Y: 110}},
+	}
+	script := randomShardScript(opt, 31, sweeps)
+	runShardSweepEquivalence(t, opt, core.VariantD, script, sweeps)
+}
+
+// TestShardedSweepHealsKillDisk pins the healing story end to end: a
+// converged sharded field loses a whole disk of nodes mid-maintenance
+// and must re-heal to the dynamic fixpoint, byte-identical to serial
+// at every boundary along the way.
+func TestShardedSweepHealsKillDisk(t *testing.T) {
+	const sweeps = 40
+	opt := shardSweepOptions(5)
+	c := geom.Point{X: opt.RegionRadius * 0.4, Y: 0}
+	script := []propStep{
+		{8, "disaster", func(s *Sim) { s.KillDisk(c, opt.Config.SearchRadius()) }},
+	}
+	runShardSweepEquivalence(t, opt, core.VariantD, script, sweeps)
+}
+
+// TestShardedSweepFaultyFallback proves the gate: with an active fault
+// plan the executor must refuse to shard (replays would shift the
+// per-delivery randomness), so a worker-configured build still equals
+// serial — trivially, by taking the same path.
+func TestShardedSweepFaultyFallback(t *testing.T) {
+	const sweeps = 20
+	opt := shardSweepOptions(11)
+	opt.Faults = fault.Plan{Loss: 0.05, BlackoutRate: 0.01, BlackoutSweeps: 2}
+	script := randomScript(opt, 77, sweeps)
+	runShardSweepEquivalence(t, opt, core.VariantD, script, sweeps)
+}
+
+// TestSweepSmoke56k is the large-field smoke: a ~56k-node field
+// configures sharded, converges under sharded maintenance, loses a
+// disk two search radii wide, and re-heals to the dynamic fixpoint.
+// It runs only with GS3_SWEEP_SMOKE=1 (the Makefile's sweep-smoke
+// target runs it under -race).
+func TestSweepSmoke56k(t *testing.T) {
+	if os.Getenv("GS3_SWEEP_SMOKE") == "" {
+		t.Skip("set GS3_SWEEP_SMOKE=1 to run the 56k-node sweep smoke")
+	}
+	opt := DefaultOptions(100, 2800)
+	opt.Seed = 9
+	opt.SweepWorkers = 8
+	s, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("deployed %d nodes", s.Net.Medium().Count())
+	if _, err := s.ConfigureSharded(8); err != nil {
+		t.Fatal(err)
+	}
+	s.Net.StartMaintenance(core.VariantD)
+	if _, err := s.RunToFixpoint(check.Dynamic, 12); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+	c := geom.Point{X: opt.RegionRadius * 0.3, Y: opt.RegionRadius * 0.2}
+	killed := s.KillDisk(c, 2*opt.Config.SearchRadius())
+	if killed == 0 {
+		t.Fatal("kill disk hit nothing")
+	}
+	t.Logf("killed %d nodes", killed)
+	if _, err := s.RunToFixpoint(check.Dynamic, 30); err != nil {
+		t.Fatalf("post-disaster healing: %v", err)
+	}
+	// The healed structure must have no bootup stragglers left outside
+	// the crater and no insane heads anywhere.
+	snap := s.Net.Snapshot()
+	for _, v := range snap.Nodes {
+		if v.Status == core.StatusBootup && v.Pos.Dist(c) > 3*opt.Config.SearchRadius() {
+			t.Errorf("node %d still bootup far from the crater", v.ID)
+		}
+	}
+}

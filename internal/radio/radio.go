@@ -120,6 +120,15 @@ type Stats struct {
 }
 
 // Medium is the shared wireless medium.
+//
+// Medium is single-threaded for mutation, but its read-only accessors
+// — Position, Alive, InBlackout, Epoch, RegionEpoch,
+// RegionChangedSince, Occluded, Dist, and the *Uncounted range queries
+// — may run on any number of goroutines concurrently as long as no
+// writer (Place, Remove, SetHeadRole, SetBlackout, Touch, Broadcast,
+// counted queries, …) executes at the same time. The sharded configure
+// and sweep executors rely on exactly that window: their parallel
+// phases only read, and every write is deferred to a serial merge.
 type Medium struct {
 	params Params
 	src    *rng.Source
@@ -300,6 +309,27 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// Add returns the field-wise sum s+d. The sharded sweep executor uses
+// it to aggregate replay deltas per chunk before crediting them with
+// AddStats; all fields are uint64, so chunked addition matches the
+// serial running total bit for bit.
+func (s Stats) Add(d Stats) Stats {
+	return Stats{
+		Broadcasts:    s.Broadcasts + d.Broadcasts,
+		Unicasts:      s.Unicasts + d.Unicasts,
+		Deliveries:    s.Deliveries + d.Deliveries,
+		Dropped:       s.Dropped + d.Dropped,
+		RangeQueries:  s.RangeQueries + d.RangeQueries,
+		FaultDrops:    s.FaultDrops + d.FaultDrops,
+		FaultDups:     s.FaultDups + d.FaultDups,
+		BlackoutDrops: s.BlackoutDrops + d.BlackoutDrops,
+		Blackouts:     s.Blackouts + d.Blackouts,
+		Retries:       s.Retries + d.Retries,
+
+		OcclusionBlocks: s.OcclusionBlocks + d.OcclusionBlocks,
+	}
+}
+
 // TraceSend replays the traffic-trace hook for an elided transmission
 // from node id's current position, so footprint measurements see the
 // same sender positions whether or not the transmission was elided.
@@ -458,6 +488,9 @@ func (m *Medium) TouchAll() {
 // later prove the result is still current by comparing a fresh
 // RegionEpoch against the stamp: any add/remove/move/blackout/Touch in
 // the cone bumps a bucket the same ring scan covers.
+// RegionEpoch mutates nothing, so it shares the pure-read concurrency
+// contract of WithinRangeUncounted: any number of goroutines may call
+// it concurrently as long as no writer runs at the same time.
 func (m *Medium) RegionEpoch(p geom.Point, dist float64) uint64 {
 	r := int(math.Ceil(dist / m.cellSize))
 	base := m.key(p)
@@ -470,6 +503,34 @@ func (m *Medium) RegionEpoch(p geom.Point, dist float64) uint64 {
 		}
 	}
 	return max
+}
+
+// RegionChangedSince reports whether any topology change after the
+// given epoch reading could be visible to a range query at (p, dist):
+// a bucket in the query's ring was bumped past epoch, or a TouchAll
+// raised the floor past it. It is RegionEpoch(p, dist) > epoch with an
+// early exit, sparing the full ring scan on the common unchanged case.
+// The sharded sweep executor uses it to escalate exactly the nodes
+// whose query cone overlaps a healing mutation, leaving the rest on
+// the replay fast path. The same pure-read concurrency contract as
+// RegionEpoch applies.
+func (m *Medium) RegionChangedSince(p geom.Point, dist float64, epoch uint64) bool {
+	if m.epoch == epoch {
+		return false
+	}
+	if m.epochFloor > epoch {
+		return true
+	}
+	r := int(math.Ceil(dist / m.cellSize))
+	base := m.key(p)
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			if m.epochs[gridKey{base.x + dx, base.y + dy}] > epoch {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Place adds or moves a node. A placed node is alive.
