@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-diff bench-smoke smoke fuzz-smoke chaos traffic-smoke configure-smoke sweep-smoke adversary-smoke goldens golden-diff check
+.PHONY: all build vet test race bench bench-json bench-diff bench-smoke smoke fuzz-smoke chaos traffic-smoke configure-smoke sweep-smoke engine-smoke adversary-smoke goldens golden-diff check
 
 all: check
 
@@ -29,15 +29,15 @@ bench:
 # Archive the perf-sensitive micro/macro benchmarks into BENCH_FILE
 # under the RUN label (see cmd/benchjson). Override RUN to record a
 # different label, e.g. `make bench-json RUN=pre-pr9`.
-RUN ?= post-pr9
-BENCH_FILE ?= BENCH_PR9.json
-BENCH_PATTERN := ConfigureStructure|ConfigureSharded|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck|ServeTraffic
+RUN ?= post-pr10
+BENCH_FILE ?= BENCH_PR10.json
+BENCH_PATTERN := ConfigureStructure|ConfigureSharded|WithinRange|Broadcast|SweepSteadyState|SweepAfterFault|InvariantCheck|ServeTraffic|EngineSchedule|EngineSteadyChurn|EngineRunUntilCanceled
 # Repetitions per benchmark; benchjson keeps the fastest, so higher
 # counts tighten the noise floor on shared hosts.
 BENCH_COUNT ?= 3
 bench-json:
 	$(GO) test -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) \
-		-benchmem -run='^$$' . ./internal/radio | \
+		-benchmem -run='^$$' . ./internal/radio ./internal/sim | \
 		$(GO) run ./cmd/benchjson -file $(BENCH_FILE) -run $(RUN)
 
 # Performance regression gate: re-run the archived benchmark set fresh,
@@ -45,7 +45,7 @@ bench-json:
 # regressed by more than 10% ns/op against the $(RUN) archive.
 bench-diff:
 	@tmp=$$(mktemp); cp $(BENCH_FILE) $$tmp; \
-	$(GO) test -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) -benchmem -run='^$$' . ./internal/radio | \
+	$(GO) test -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) -benchmem -run='^$$' . ./internal/radio ./internal/sim | \
 		$(GO) run ./cmd/benchjson -file $$tmp -run fresh && \
 		$(GO) run ./cmd/benchjson -file $$tmp -diff $(RUN),fresh; \
 	status=$$?; rm -f $$tmp; exit $$status
@@ -99,6 +99,13 @@ configure-smoke:
 sweep-smoke:
 	GS3_SWEEP_SMOKE=1 $(GO) test -race -run TestSweepSmoke56k -v ./internal/netsim
 
+# Event-engine churn smoke: a million-event schedule/cancel/remove/fire
+# mix (sliding-window churn plus a wide 300k-pending drain) under the
+# race detector, asserting exact (At, seq) fire order and live-event
+# accounting throughout. The scale gate for the calendar-queue engine.
+engine-smoke:
+	GS3_ENGINE_SMOKE=1 $(GO) test -race -run TestEngineSmokeMillionEvents -v ./internal/sim
+
 # Adversarial-daemon smoke: the greedy worst-case daemon and the random
 # daemon replay the same candidate strikes on the scenario matrix; the
 # tests assert greedy healing effort >= random on every scenario.
@@ -115,4 +122,4 @@ goldens:
 golden-diff:
 	./scripts/goldens.sh diff
 
-check: build vet race bench-smoke configure-smoke sweep-smoke golden-diff bench-diff fuzz-smoke chaos traffic-smoke adversary-smoke
+check: build vet race bench-smoke engine-smoke configure-smoke sweep-smoke golden-diff bench-diff fuzz-smoke chaos traffic-smoke adversary-smoke

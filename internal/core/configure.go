@@ -348,7 +348,7 @@ func (nw *Network) caOfIn(il geom.Point, smallNodes []radio.NodeID, sk *orgSink)
 // The new cell inherits the selecting head's ⟨ICC, ICP⟩ shift state
 // (the SYN_CELL convention): its OIL is the unshifted lattice point, so
 // same-spiral neighbor ILs stay exactly √3·R apart even after slides.
-func (nw *Network) promoteToHead(id radio.NodeID, il geom.Point, scanner *Node, hops int) {
+func (nw *Network) promoteToHead(id radio.NodeID, il geom.Point, scanner *Node, hops int32) {
 	nw.promoteToHeadIn(id, il, scanner, hops, nil)
 }
 
@@ -356,7 +356,7 @@ func (nw *Network) promoteToHead(id radio.NodeID, il geom.Point, scanner *Node, 
 // sharded mode the medium's head-index flip is deferred to the level
 // barrier — SetHeadRole mutates the shared head grid — and recorded in
 // the sink's overlay so the event's own later queries see it.
-func (nw *Network) promoteToHeadIn(id radio.NodeID, il geom.Point, scanner *Node, hops int, sk *orgSink) {
+func (nw *Network) promoteToHeadIn(id radio.NodeID, il geom.Point, scanner *Node, hops int32, sk *orgSink) {
 	n := nw.node(id)
 	if sk == nil {
 		nw.setStatus(n, StatusHead)

@@ -72,7 +72,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 			ID: v.ID, X: v.Pos.X, Y: v.Pos.Y, IsBig: v.IsBig,
 			Status: v.Status.String(),
 			ILX:    v.IL.X, ILY: v.IL.Y, OILX: v.OIL.X, OILY: v.OIL.Y,
-			ICC: v.Spiral.ICC, ICP: v.Spiral.ICP,
+			ICC: int(v.Spiral.ICC), ICP: int(v.Spiral.ICP),
 			Parent: v.Parent, Children: v.Children, Neighbors: v.Neighbors,
 			Hops: v.Hops, Head: v.Head, Candidate: v.Candidate,
 			Proxy: v.Proxy, Energy: v.Energy, Blackout: v.Blackout,
@@ -113,7 +113,7 @@ func (s *Snapshot) UnmarshalJSON(data []byte) error {
 			Status: st,
 			IL:     geom.Point{X: v.ILX, Y: v.ILY},
 			OIL:    geom.Point{X: v.OILX, Y: v.OILY},
-			Spiral: hexlat.SpiralIndex{ICC: v.ICC, ICP: v.ICP},
+			Spiral: hexlat.SpiralIndex{ICC: int32(v.ICC), ICP: int32(v.ICP)},
 			Parent: v.Parent, Children: v.Children, Neighbors: v.Neighbors,
 			Hops: v.Hops, Head: v.Head, Candidate: v.Candidate,
 			Proxy: v.Proxy, Energy: v.Energy, Blackout: v.Blackout,

@@ -75,9 +75,9 @@ func (nw *Network) StopMaintenance() {
 	for at := range nw.batches {
 		delete(nw.batches, at)
 	}
-	for id, h := range nw.sweepTimers {
+	for i, h := range nw.sweepTimers {
 		nw.eng.Remove(h)
-		delete(nw.sweepTimers, id)
+		nw.sweepTimers[i] = sim.Handle{}
 	}
 }
 
@@ -96,8 +96,8 @@ func (nw *Network) StopMaintenance() {
 func (nw *Network) scheduleSweep(id radio.NodeID, delay float64) {
 	if nw.faults.Plan().Jitter > 0 {
 		h := nw.eng.After(nw.jittered(delay), "sweep", func() { nw.sweep(id) })
-		if nw.sweepTimers == nil {
-			nw.sweepTimers = make(map[radio.NodeID]sim.Handle)
+		for int(id) >= len(nw.sweepTimers) {
+			nw.sweepTimers = append(nw.sweepTimers, sim.Handle{})
 		}
 		nw.sweepTimers[id] = h
 		return
@@ -234,7 +234,7 @@ func (nw *Network) sweepOnce(id radio.NodeID) bool {
 		if n.Status.IsHeadRole() { // may have retreated
 			nw.headInterCell(n)
 		}
-		if n.Status.IsHeadRole() && nw.coldOf(id).sweep%nw.cfg.SanityCheckEvery == 0 {
+		if n.Status.IsHeadRole() && nw.coldOf(id).sweep%uint32(nw.cfg.SanityCheckEvery) == 0 {
 			nw.SanityCheck(id)
 		}
 	case n.Status == StatusAssociate:
@@ -272,10 +272,10 @@ func (nw *Network) quiescentSweep(n *Node) bool {
 		if cd.pendingChildRepair || nw.lowEnergy(n) {
 			return false
 		}
-		if !c.sane && cd.sweep%nw.cfg.SanityCheckEvery == 0 {
+		if !c.sane && cd.sweep%uint32(nw.cfg.SanityCheckEvery) == 0 {
 			return false
 		}
-		rescanDue = cd.sweep%nw.cfg.BoundaryRescanEvery == 0
+		rescanDue = cd.sweep%uint32(nw.cfg.BoundaryRescanEvery) == 0
 	}
 	if rescanDue {
 		d = &c.rescan
@@ -291,8 +291,8 @@ func (nw *Network) quiescentSweep(n *Node) bool {
 		}
 		c.worldStamp = world
 	}
-	nw.med.AddStats(d.stats)
-	nw.addMetrics(d.metrics)
+	nw.med.AddStats(d.statsDelta())
+	nw.addMetrics(d.metricsDelta())
 	if rescanDue {
 		// The elided rescan's externally visible side: the HEAD_ORG
 		// trace event and the two org broadcasts' footprint sends.
@@ -329,9 +329,9 @@ func (nw *Network) recordSweep(n *Node, statsBefore radio.Stats, metricsBefore M
 	if nw.metrics.HeadOrgs > metricsBefore.HeadOrgs {
 		d = &c.rescan
 	}
-	d.valid = true
-	d.stats = nw.med.Stats().Sub(statsBefore)
-	d.metrics = nw.metrics.sub(metricsBefore)
+	if !d.record(nw.med.Stats().Sub(statsBefore), nw.metrics.sub(metricsBefore)) {
+		return // an increment overflowed uint16: this sweep stays uncached
+	}
 	c.worldStamp = nw.med.Epoch()
 	if isHead {
 		c.sane = nw.headStateValid(n)
@@ -526,7 +526,7 @@ func (nw *Network) StrengthenCell(id radio.NodeID) {
 	idx := h.Spiral
 	for steps := 0; steps < 1+3*maxRing*(maxRing+1); steps++ {
 		idx = hexlat.NextSpiral(idx)
-		if idx.ICC > maxRing {
+		if int(idx.ICC) > maxRing {
 			break
 		}
 		il := lat.Center(hexlat.SpiralPoint(idx))
@@ -838,7 +838,7 @@ func (nw *Network) headInterCell(h *Node) {
 	hc := nw.coldOf(h.ID)
 	repairDue := hc.pendingChildRepair
 	hc.pendingChildRepair = lostChild
-	if repairDue || hc.sweep%cfg.BoundaryRescanEvery == 0 {
+	if repairDue || hc.sweep%uint32(cfg.BoundaryRescanEvery) == 0 {
 		hc.pendingChildRepair = false
 		nw.RescanAround(h.ID)
 	}
@@ -865,7 +865,7 @@ func (nw *Network) ParentSeek(id radio.NodeID) {
 	nw.metrics.ParentSeeks++
 
 	bestParent := radio.None
-	bestHops := unknownHops
+	bestHops := int32(unknownHops)
 	bestDist := math.Inf(1)
 	for _, nid := range h.Neighbors {
 		nh := nw.node(nid)

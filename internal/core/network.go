@@ -113,12 +113,14 @@ type Network struct {
 	// sealed) for eager removal on StopMaintenance, and batchFree
 	// recycles drained ones. sweepTimers tracks per-node sweep events in
 	// the jittered-scheduling fallback so stopping maintenance can drop
-	// them eagerly too.
+	// them eagerly too: a dense slice keyed by NodeID, not a map —
+	// handles are generation-checked by the engine, so a slot left
+	// behind by a fired sweep is a harmless no-op to Remove.
 	batches     map[sim.Time]*sweepBatch
 	pending     []*sweepBatch
 	batchFree   []*sweepBatch
 	batchEvents uint64
-	sweepTimers map[radio.NodeID]sim.Handle
+	sweepTimers []sim.Handle
 
 	// sweepWorkers is the worker budget of the sharded maintenance
 	// executor (sweepshard.go); ≤ 1 keeps every batch on the serial

@@ -1,13 +1,15 @@
 package core
 
 import (
+	"math"
+
 	"gs3/internal/geom"
 	"gs3/internal/hexlat"
 	"gs3/internal/radio"
 )
 
 // Status is a node's protocol status (paper Figures 2, 6, 9).
-type Status int
+type Status uint8
 
 // Node statuses. Head and Work are both "head roles": Head means
 // selected but HEAD_ORG not yet executed; Work means organizing is done.
@@ -69,7 +71,7 @@ type Node struct {
 	ParentIL  geom.Point // IL of the parent's cell: the reference direction source
 	Children  []radio.NodeID
 	Neighbors []radio.NodeID // neighboring cell heads
-	Hops      int            // hop distance to the big node in the head graph
+	Hops      int32          // hop distance to the big node in the head graph
 
 	// Associate-role state.
 	Head      radio.NodeID
@@ -85,10 +87,76 @@ type Node struct {
 // no-op sweep: the radio and protocol counter increments the sweep
 // produced. A sweep elided by the fast path replays the delta so every
 // printed statistic matches a run that did the work.
+//
+// The increments are stored as uint16, not as full radio.Stats/Metrics
+// structs: a single no-op sweep moves each counter by at most a
+// handful of sends and replies, and the narrow form cuts the per-node
+// cache from ~370 B to ~110 B — the store's biggest single line item
+// at million-node scale. record refuses (returns false, leaving the
+// delta invalid) in the off-nominal case of an increment beyond
+// uint16, which merely costs that node its fast path.
 type sweepDelta struct {
 	valid   bool
-	stats   radio.Stats
-	metrics Metrics
+	stats   [11]uint16 // radio.Stats increments, field order as declared
+	metrics [10]uint16 // Metrics increments, field order as declared
+}
+
+// record packs the given counter increments, failing (and leaving the
+// delta invalid) if any of them overflows uint16.
+func (d *sweepDelta) record(s radio.Stats, m Metrics) bool {
+	st := [11]uint64{
+		s.Broadcasts, s.Unicasts, s.Deliveries, s.Dropped, s.RangeQueries,
+		s.FaultDrops, s.FaultDups, s.BlackoutDrops, s.Blackouts, s.Retries,
+		s.OcclusionBlocks,
+	}
+	mt := [10]uint64{
+		m.HeadOrgs, m.HeadsSelected, m.ReplyMessages, m.HeadShifts,
+		m.CellShifts, m.Abandonments, m.SanityRetreats, m.ParentSeeks,
+		m.Joins, m.Promotions,
+	}
+	for _, v := range st {
+		if v > math.MaxUint16 {
+			d.valid = false
+			return false
+		}
+	}
+	for _, v := range mt {
+		if v > math.MaxUint16 {
+			d.valid = false
+			return false
+		}
+	}
+	for i, v := range st {
+		d.stats[i] = uint16(v)
+	}
+	for i, v := range mt {
+		d.metrics[i] = uint16(v)
+	}
+	d.valid = true
+	return true
+}
+
+// statsDelta expands the packed radio counter increments.
+func (d *sweepDelta) statsDelta() radio.Stats {
+	return radio.Stats{
+		Broadcasts: uint64(d.stats[0]), Unicasts: uint64(d.stats[1]),
+		Deliveries: uint64(d.stats[2]), Dropped: uint64(d.stats[3]),
+		RangeQueries: uint64(d.stats[4]), FaultDrops: uint64(d.stats[5]),
+		FaultDups: uint64(d.stats[6]), BlackoutDrops: uint64(d.stats[7]),
+		Blackouts: uint64(d.stats[8]), Retries: uint64(d.stats[9]),
+		OcclusionBlocks: uint64(d.stats[10]),
+	}
+}
+
+// metricsDelta expands the packed protocol counter increments.
+func (d *sweepDelta) metricsDelta() Metrics {
+	return Metrics{
+		HeadOrgs: uint64(d.metrics[0]), HeadsSelected: uint64(d.metrics[1]),
+		ReplyMessages: uint64(d.metrics[2]), HeadShifts: uint64(d.metrics[3]),
+		CellShifts: uint64(d.metrics[4]), Abandonments: uint64(d.metrics[5]),
+		SanityRetreats: uint64(d.metrics[6]), ParentSeeks: uint64(d.metrics[7]),
+		Joins: uint64(d.metrics[8]), Promotions: uint64(d.metrics[9]),
+	}
 }
 
 // sweepCache holds a node's recorded quiescent sweeps. Two flavors

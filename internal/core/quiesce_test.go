@@ -110,10 +110,10 @@ func TestQuiescentSweepReplaysAccounting(t *testing.T) {
 	if !nw.quiescentSweep(n) {
 		t.Fatal("quiescentSweep declined a valid cached associate")
 	}
-	if got := nw.med.Stats().Sub(statsBefore); got != want.stats {
-		t.Errorf("replayed stats delta = %+v, want %+v", got, want.stats)
+	if got := nw.med.Stats().Sub(statsBefore); got != want.statsDelta() {
+		t.Errorf("replayed stats delta = %+v, want %+v", got, want.statsDelta())
 	}
-	if got := nw.metrics.sub(metricsBefore); got != want.metrics {
-		t.Errorf("replayed metrics delta = %+v, want %+v", got, want.metrics)
+	if got := nw.metrics.sub(metricsBefore); got != want.metricsDelta() {
+		t.Errorf("replayed metrics delta = %+v, want %+v", got, want.metricsDelta())
 	}
 }

@@ -100,7 +100,7 @@ func (nw *Network) Snapshot() Snapshot {
 			Parent:    n.Parent,
 			Children:  clone(n.Children),
 			Neighbors: clone(n.Neighbors),
-			Hops:      n.Hops,
+			Hops:      int(n.Hops),
 			Head:      n.Head,
 			Candidate: n.Candidate,
 			Proxy:     nw.coldOf(id).Proxy,
@@ -175,7 +175,7 @@ func (nw *Network) Corrupt(id radio.NodeID, kind CorruptionKind, delta float64) 
 		}
 	case CorruptHops:
 		if n.Status.IsHeadRole() {
-			n.Hops = int(delta)
+			n.Hops = int32(delta)
 		}
 	case CorruptStatus:
 		if n.Status == StatusAssociate {

@@ -19,6 +19,17 @@ import "gs3/internal/radio"
 // No protocol path holds a *Node across an AddNode — joins happen
 // between engine events — and external callers get snapshots.
 //
+// Field widths are audited against their actual ranges, because at
+// million-node scale every byte here is a megabyte: radio.NodeID is
+// int32 (dense IDs), Status is uint8, Node.Hops and the SpiralIndex
+// ranks are int32 (unknownHops = 1<<20 is the ceiling), nodeCold.sweep
+// is uint32, and the sweepCache deltas pack their counter increments
+// as uint16 (node.go). Snapshot/JSON view types keep wide ints, so
+// none of this narrows the wire form. The other per-node line item —
+// the engine's event bookkeeping — is pooled slots plus 24-byte queue
+// entries in internal/sim, and the jitter path's sweepTimers is a
+// dense []sim.Handle rather than a map.
+//
 // Link slices (Children/Neighbors) come from a chunk arena: fixed
 // eight-entry chunks carved out of slabs and recycled through a free
 // list when a node leaves the head role. Eight covers the paper's
@@ -37,7 +48,7 @@ type nodeCold struct {
 	// Energy is the node's remaining energy (the lifetime model).
 	Energy float64
 	// sweep counts maintenance rounds, for low-frequency sub-actions.
-	sweep int
+	sweep uint32
 	// pendingChildRepair delays parent-side repair of a lost child by
 	// one heartbeat, giving the cell's own head shift priority.
 	pendingChildRepair bool

@@ -145,10 +145,10 @@ func (nw *Network) classifySweep(id radio.NodeID) sweepKind {
 			energy <= nw.cfg.AssociateDissipation*nw.cfg.HeadEnergyFactor*nw.cfg.HeartbeatInterval {
 			return sweepFull // lowEnergy retreat is due
 		}
-		if !c.sane && next%nw.cfg.SanityCheckEvery == 0 {
+		if !c.sane && next%uint32(nw.cfg.SanityCheckEvery) == 0 {
 			return sweepFull
 		}
-		if next%nw.cfg.BoundaryRescanEvery == 0 {
+		if next%uint32(nw.cfg.BoundaryRescanEvery) == 0 {
 			kind = sweepReplayRescan
 		}
 	}
@@ -270,8 +270,8 @@ func (nw *Network) runSweepBatchSharded(ids []radio.NodeID) {
 					continue
 				}
 				d := nw.applySweepReplay(ids[i], kinds[i], world)
-				st = st.Add(d.stats)
-				mt = mt.add(d.metrics)
+				st = st.Add(d.statsDelta())
+				mt = mt.add(d.metricsDelta())
 			}
 			stats[c] = st
 			metrics[c] = mt
@@ -323,8 +323,8 @@ func (nw *Network) mergeSweepBatch(ids []radio.NodeID, kinds []sweepKind) {
 				}
 			}
 			d := nw.applySweepReplay(id, kinds[i], nw.med.Epoch())
-			nw.med.AddStats(d.stats)
-			nw.addMetrics(d.metrics)
+			nw.med.AddStats(d.statsDelta())
+			nw.addMetrics(d.metricsDelta())
 			nw.scheduleSweep(id, nw.cfg.HeartbeatInterval)
 		}
 	}

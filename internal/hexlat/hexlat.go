@@ -145,8 +145,8 @@ func RingPoints(k int) []Axial {
 // SpiralIndex identifies a lattice point by its ⟨ICC, ICP⟩ rank: ring
 // number and clockwise position within the ring.
 type SpiralIndex struct {
-	ICC int // ring (Intra-Cell Cycle)
-	ICP int // clockwise position on the ring (Intra-Cycle Position)
+	ICC int32 // ring (Intra-Cell Cycle)
+	ICP int32 // clockwise position on the ring (Intra-Cycle Position)
 }
 
 // Less reports whether s precedes t in the lexicographic ⟨ICC, ICP⟩
@@ -160,7 +160,7 @@ func (s SpiralIndex) Less(t SpiralIndex) bool {
 
 // SpiralPoint returns the lattice point at the given spiral index.
 func SpiralPoint(idx SpiralIndex) Axial {
-	return RingPoints(idx.ICC)[idx.ICP]
+	return RingPoints(int(idx.ICC))[idx.ICP]
 }
 
 // NextSpiral returns the spiral index that follows idx in ⟨ICC, ICP⟩
@@ -199,12 +199,12 @@ func SpiralIndexOf(c Axial) SpiralIndex {
 	}
 	for i, p := range RingPoints(k) {
 		if p == c {
-			return SpiralIndex{ICC: k, ICP: i}
+			return SpiralIndex{ICC: int32(k), ICP: int32(i)}
 		}
 	}
 	// Unreachable: every axial coordinate of ring k appears in
 	// RingPoints(k).
-	return SpiralIndex{ICC: k}
+	return SpiralIndex{ICC: int32(k)}
 }
 
 // CellsWithinRadius returns all lattice points whose centers lie within

@@ -58,7 +58,7 @@ var (
 // NodeID identifies a node on the medium. The big node is always ID 0.
 // IDs are allocated densely from 0 by the network layer; the medium's
 // per-node state is indexed by them directly.
-type NodeID int
+type NodeID int32
 
 // None is the absent-node sentinel.
 const None NodeID = -1
